@@ -1,0 +1,35 @@
+"""ABL-BUDGET: reward vs trainable-parameter budget (Section IV-C's axis).
+
+The paper's comparison hinges on the ~50-parameter budget; this bench
+sweeps the variational gate count of the quantum framework.
+"""
+
+import os
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.ablations import run_parameter_budget
+from repro.experiments.io import results_dir, save_json
+
+
+def test_ablation_parameter_budget(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_parameter_budget(
+            budgets=(10, 25, 50),
+            train_epochs=5,
+            episode_limit=10,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(result["final_rewards"]) == 3
+    assert all(r <= 0.0 for r in result["final_rewards"])
+
+    rows = [f"{'gate budget':>12} {'final reward':>13}"]
+    for budget, reward in zip(result["budgets"], result["final_rewards"]):
+        rows.append(f"{budget:>12} {reward:>13.3f}")
+    rows.append(f"\nrandom-walk reference: {result['random_walk_return']:.3f}")
+    emit("ABL-BUDGET — reward vs variational gate budget", "\n".join(rows))
+    save_json(result, os.path.join(results_dir(), "ablation_budget.json"))

@@ -1,0 +1,37 @@
+"""ABL-NOISE: trained-policy robustness to depolarising gate error.
+
+The paper's future-work axis (Section V): "the impact of noise is
+considerable on quantum computing".  A noiselessly-trained Proposed policy
+is re-executed on the density-matrix backend at increasing per-gate error.
+"""
+
+import os
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.ablations import run_noise_robustness
+from repro.experiments.io import results_dir, save_json
+
+
+def test_ablation_noise_robustness(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_noise_robustness(
+            noise_levels=(0.0, 0.01, 0.05, 0.15),
+            train_epochs=6,
+            episode_limit=12,
+            n_episodes=3,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rewards = result["greedy_rewards"]
+    assert len(rewards) == 4
+    assert all(r <= 0.0 for r in rewards)
+
+    rows = [f"{'gate error p':>13} {'greedy total reward':>21}"]
+    for level, reward in zip(result["noise_levels"], rewards):
+        rows.append(f"{level:>13.3f} {reward:>21.3f}")
+    emit("ABL-NOISE — policy reward vs depolarising gate error", "\n".join(rows))
+    save_json(result, os.path.join(results_dir(), "ablation_noise.json"))

@@ -1,0 +1,39 @@
+"""ABL-PLATEAU: barren-plateau gradient variance vs register width.
+
+The second half of the paper's small-register argument: beyond gate error
+(ABL-ENC), random wide circuits also lose *trainability* — single-parameter
+gradient variance decays exponentially with qubit count (McClean et al.
+2018).  The paper's critic therefore compresses the joint state onto 4
+qubits instead of widening with the number of agents.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.experiments.ablations import run_barren_plateau
+from repro.experiments.io import results_dir, save_json
+
+
+def test_ablation_barren_plateau(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_barren_plateau(
+            qubit_counts=(2, 4, 6, 8), n_gates=30, n_samples=16
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    variances = result["gradient_variance"]
+    # Gradient variance must collapse from the narrowest to widest register.
+    assert variances[-1] < variances[0]
+
+    rows = [f"{'qubits':>7} {'Var[dE/dw0]':>13} {'E|dE/dw0|':>11}"]
+    for n, var, mean in zip(
+        result["qubit_counts"], variances, result["gradient_mean_abs"]
+    ):
+        rows.append(f"{n:>7} {var:>13.6f} {mean:>11.6f}")
+    emit(
+        "ABL-PLATEAU — gradient variance vs register width", "\n".join(rows)
+    )
+    save_json(result, os.path.join(results_dir(), "ablation_plateau.json"))

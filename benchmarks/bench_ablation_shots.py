@@ -1,0 +1,37 @@
+"""ABL-SHOTS: trained-policy robustness to finite measurement shots.
+
+Real hardware estimates expectation values from a finite number of
+measurement samples; this bench sweeps the shot budget for a trained
+Proposed policy (``exact`` = the paper's simulator regime).
+"""
+
+import os
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.ablations import run_shot_budget
+from repro.experiments.io import results_dir, save_json
+
+
+def test_ablation_shot_budget(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_shot_budget(
+            shot_counts=(8, 64, 512, None),
+            train_epochs=6,
+            episode_limit=12,
+            n_episodes=3,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rewards = result["greedy_rewards"]
+    assert len(rewards) == 4
+    assert all(r <= 0.0 for r in rewards)
+
+    rows = [f"{'shots':>8} {'greedy total reward':>21}"]
+    for shots, reward in zip(result["shot_counts"], rewards):
+        rows.append(f"{str(shots):>8} {reward:>21.3f}")
+    emit("ABL-SHOTS — policy reward vs measurement shots", "\n".join(rows))
+    save_json(result, os.path.join(results_dir(), "ablation_shots.json"))

@@ -1,0 +1,39 @@
+"""ABL-TEMPLATE: ansatz families at the paper's weight budget.
+
+Compares the paper's torchquantum-style random layers against structured
+basic-entangler and strongly-entangling templates, each trained briefly at
+(approximately) the 50-weight budget.
+"""
+
+import os
+
+from conftest import BENCH_SEED, emit
+
+from repro.experiments.ablations import run_template_comparison
+from repro.experiments.io import results_dir, save_json
+
+
+def test_ablation_template_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_template_comparison(
+            templates=("random", "basic_entangler", "strongly_entangling"),
+            train_epochs=5,
+            episode_limit=10,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rewards = result["final_rewards"]
+    assert set(rewards) == {"random", "basic_entangler", "strongly_entangling"}
+    assert all(r <= 0.0 for r in rewards.values())
+
+    rows = [f"{'template':<22} {'actor weights':>14} {'final reward':>13}"]
+    for template in result["templates"]:
+        rows.append(
+            f"{template:<22} {result['actor_parameters'][template]:>14} "
+            f"{rewards[template]:>13.3f}"
+        )
+    emit("ABL-TEMPLATE — ansatz families at the 50-weight budget", "\n".join(rows))
+    save_json(result, os.path.join(results_dir(), "ablation_template.json"))

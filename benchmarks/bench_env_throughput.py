@@ -1,0 +1,64 @@
+"""Microbenchmarks of the environment and training-loop substrate."""
+
+import numpy as np
+
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.marl.frameworks import build_framework
+
+
+def test_env_step_throughput(benchmark):
+    env = SingleHopOffloadEnv(
+        SingleHopConfig(episode_limit=10_000), rng=np.random.default_rng(0)
+    )
+    env.reset()
+    rng = np.random.default_rng(1)
+    actions = [rng.integers(4) for _ in range(4)]
+
+    benchmark(env.step, actions)
+
+
+def test_env_episode(benchmark):
+    env = SingleHopOffloadEnv(
+        SingleHopConfig(episode_limit=100), rng=np.random.default_rng(0)
+    )
+    rng = np.random.default_rng(1)
+
+    def run_episode():
+        env.reset()
+        done = False
+        while not done:
+            result = env.step([int(rng.integers(4)) for _ in range(4)])
+            done = result.done
+
+    benchmark(run_episode)
+
+
+def test_proposed_train_epoch(benchmark):
+    """One full CTDE epoch of the quantum framework (rollout + update)."""
+    framework = build_framework(
+        "proposed",
+        seed=3,
+        env_config=SingleHopConfig(episode_limit=15),
+        train_config=TrainingConfig(
+            episodes_per_epoch=2, actor_lr=1e-3, critic_lr=1e-3
+        ),
+    )
+    benchmark.pedantic(
+        framework.trainer.train_epoch, rounds=2, iterations=1, warmup_rounds=1
+    )
+
+
+def test_comp3_train_epoch(benchmark):
+    """One full CTDE epoch of the large classical baseline."""
+    framework = build_framework(
+        "comp3",
+        seed=3,
+        env_config=SingleHopConfig(episode_limit=15),
+        train_config=TrainingConfig(
+            episodes_per_epoch=2, actor_lr=1e-3, critic_lr=1e-3
+        ),
+    )
+    benchmark.pedantic(
+        framework.trainer.train_epoch, rounds=2, iterations=1, warmup_rounds=1
+    )

@@ -1,0 +1,54 @@
+"""Fig. 3(a): total reward vs training epoch, four frameworks.
+
+The timed body retrains the paper's headline arm (Proposed) end to end at
+benchmark scale; the printed panel reproduces the full four-framework
+series from the shared run, with the paper's reference final values for
+comparison.
+"""
+
+import os
+
+from conftest import BENCH_PRESET, BENCH_SEED, emit
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.io import save_csv, results_dir
+from repro.viz.ascii_plots import line_plot
+
+PAPER_FINAL_REWARDS = {
+    "proposed": -3.0,
+    "comp1": -16.6,
+    "comp2": -22.5,
+    "comp3": -2.8,
+}
+
+
+def test_fig3a_total_reward(benchmark, fig3_result):
+    result = benchmark.pedantic(
+        lambda: run_fig3(
+            preset=BENCH_PRESET, seed=BENCH_SEED, frameworks=("proposed",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result["summaries"]["proposed"]["total_reward"] <= 0.0
+
+    series = {
+        name: fig3_result["series"][name]["total_reward"]
+        for name in fig3_result["series"]
+    }
+    emit(
+        "Fig. 3(a) — total reward vs training epoch",
+        line_plot(series, title=f"preset={fig3_result['preset']}")
+        + "\n\npaper final rewards (1000 epochs, T~350): "
+        + ", ".join(f"{k}={v}" for k, v in PAPER_FINAL_REWARDS.items())
+        + "\nmeasured finals: "
+        + ", ".join(
+            f"{name}={summary['total_reward']:.2f}"
+            for name, summary in fig3_result["summaries"].items()
+        )
+        + f"\nrandom walk: paper=-33.2, measured={fig3_result['random_walk_return']:.2f}",
+    )
+    save_csv(
+        {"epoch": list(range(1, fig3_result["n_epochs"] + 1)), **series},
+        os.path.join(results_dir(), "fig3a_total_reward.csv"),
+    )

@@ -1,0 +1,58 @@
+"""Fig. 3(b): average queue state vs training epoch.
+
+Paper reference (converged): Proposed 0.460, Comp1 0.480, Comp2 0.510,
+Comp3 0.453 — all near the balanced half-full operating point, with the
+better frameworks slightly below it.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.experiments.io import results_dir, save_csv
+from repro.marl.metrics import exponential_moving_average
+from repro.viz.ascii_plots import line_plot
+
+PAPER_AVG_QUEUE = {
+    "proposed": 0.460,
+    "comp1": 0.480,
+    "comp2": 0.510,
+    "comp3": 0.453,
+}
+
+
+def _panel(fig3_result):
+    series = {
+        name: exponential_moving_average(
+            fig3_result["series"][name]["mean_queue"], alpha=0.3
+        )
+        for name in fig3_result["series"]
+    }
+    finals = {
+        name: fig3_result["summaries"][name]["mean_queue"]
+        for name in fig3_result["summaries"]
+    }
+    return series, finals
+
+
+def test_fig3b_avg_queue(benchmark, fig3_result):
+    series, finals = benchmark(_panel, fig3_result)
+
+    for name, value in finals.items():
+        assert 0.0 <= value <= 1.0
+
+    emit(
+        "Fig. 3(b) — average queue vs training epoch",
+        line_plot(series, title="avg queue (EMA)")
+        + "\n\npaper finals: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in PAPER_AVG_QUEUE.items())
+        + "\nmeasured finals: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in finals.items()),
+    )
+    save_csv(
+        {
+            "epoch": list(range(1, fig3_result["n_epochs"] + 1)),
+            **{k: v.tolist() for k, v in series.items()},
+        },
+        os.path.join(results_dir(), "fig3b_avg_queue.csv"),
+    )

@@ -1,0 +1,52 @@
+"""Fig. 3(c): queue-empty-event ratio vs training epoch.
+
+Paper reference ordering (high -> low): Comp2, Comp1, Proposed, Comp3.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.experiments.io import results_dir, save_csv
+from repro.marl.metrics import exponential_moving_average
+from repro.viz.ascii_plots import line_plot
+
+PAPER_ORDER_HIGH_TO_LOW = ["comp2", "comp1", "proposed", "comp3"]
+
+
+def _panel(fig3_result):
+    series = {
+        name: exponential_moving_average(
+            fig3_result["series"][name]["empty_ratio"], alpha=0.3
+        )
+        for name in fig3_result["series"]
+    }
+    finals = {
+        name: fig3_result["summaries"][name]["empty_ratio"]
+        for name in fig3_result["summaries"]
+    }
+    order = sorted(finals, key=finals.get, reverse=True)
+    return series, finals, order
+
+
+def test_fig3c_empty_ratio(benchmark, fig3_result):
+    series, finals, order = benchmark(_panel, fig3_result)
+
+    for value in finals.values():
+        assert 0.0 <= value <= 1.0
+
+    emit(
+        "Fig. 3(c) — queue-empty ratio vs training epoch",
+        line_plot(series, title="empty ratio (EMA)")
+        + f"\n\npaper order (high->low):    {' > '.join(PAPER_ORDER_HIGH_TO_LOW)}"
+        + f"\nmeasured order (high->low): {' > '.join(order)}"
+        + "\nmeasured finals: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in finals.items()),
+    )
+    save_csv(
+        {
+            "epoch": list(range(1, fig3_result["n_epochs"] + 1)),
+            **{k: v.tolist() for k, v in series.items()},
+        },
+        os.path.join(results_dir(), "fig3c_empty_ratio.csv"),
+    )

@@ -1,0 +1,52 @@
+"""Fig. 3(d): queue-overflow ratio vs training epoch.
+
+Paper reference ordering (low -> high): Proposed, Comp3, Comp2, Comp1.
+"""
+
+import os
+
+from conftest import emit
+
+from repro.experiments.io import results_dir, save_csv
+from repro.marl.metrics import exponential_moving_average
+from repro.viz.ascii_plots import line_plot
+
+PAPER_ORDER_LOW_TO_HIGH = ["proposed", "comp3", "comp2", "comp1"]
+
+
+def _panel(fig3_result):
+    series = {
+        name: exponential_moving_average(
+            fig3_result["series"][name]["overflow_ratio"], alpha=0.3
+        )
+        for name in fig3_result["series"]
+    }
+    finals = {
+        name: fig3_result["summaries"][name]["overflow_ratio"]
+        for name in fig3_result["summaries"]
+    }
+    order = sorted(finals, key=finals.get)
+    return series, finals, order
+
+
+def test_fig3d_overflow(benchmark, fig3_result):
+    series, finals, order = benchmark(_panel, fig3_result)
+
+    for value in finals.values():
+        assert 0.0 <= value <= 1.0
+
+    emit(
+        "Fig. 3(d) — queue-overflow ratio vs training epoch",
+        line_plot(series, title="overflow ratio (EMA)")
+        + f"\n\npaper order (low->high):    {' > '.join(PAPER_ORDER_LOW_TO_HIGH)}"
+        + f"\nmeasured order (low->high): {' > '.join(order)}"
+        + "\nmeasured finals: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in finals.items()),
+    )
+    save_csv(
+        {
+            "epoch": list(range(1, fig3_result["n_epochs"] + 1)),
+            **{k: v.tolist() for k, v in series.items()},
+        },
+        os.path.join(results_dir(), "fig3d_overflow.csv"),
+    )

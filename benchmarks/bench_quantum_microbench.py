@@ -1,0 +1,92 @@
+"""Microbenchmarks of the quantum substrate's hot paths.
+
+These are the operations the training loop spends its time in: batched gate
+application, full circuit forward passes (actor and critic shapes), adjoint
+backward sweeps, noisy density-matrix execution, and the batched team
+rollout evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.marl.actors import QuantumActor, QuantumActorGroup
+from repro.quantum import statevector as sv
+from repro.quantum.backends import DensityMatrixBackend, StatevectorBackend
+from repro.quantum.channels import NoiseModel
+from repro.quantum.gates import rx
+from repro.quantum.gradients import adjoint_backward
+from repro.quantum.vqc import build_vqc
+
+_RNG = np.random.default_rng(0)
+_ACTOR = build_vqc(4, 4, 50, seed=1)
+_CRITIC = build_vqc(4, 16, 50, seed=2)
+_ACTOR_W = _ACTOR.initial_weights(_RNG)
+_CRITIC_W = _CRITIC.initial_weights(_RNG)
+_OBS = _RNG.uniform(size=(100, 4))
+_STATES = _RNG.uniform(size=(100, 16))
+
+
+def test_single_qubit_gate_batched(benchmark):
+    psi = sv.zero_state(4, batch_size=256)
+    angles = _RNG.uniform(size=256)
+    benchmark(sv.apply_matrix, psi, rx(angles), (2,), 4)
+
+
+def test_actor_forward_batch100(benchmark):
+    backend = StatevectorBackend()
+    out = benchmark(
+        backend.run, _ACTOR.circuit, _ACTOR.observables, _OBS, _ACTOR_W
+    )
+    assert out.shape == (100, 4)
+
+
+def test_critic_forward_batch100(benchmark):
+    backend = StatevectorBackend()
+    out = benchmark(
+        backend.run, _CRITIC.circuit, _CRITIC.observables, _STATES, _CRITIC_W
+    )
+    assert out.shape == (100, 4)
+
+
+def test_adjoint_backward_batch100(benchmark):
+    upstream = _RNG.normal(size=(100, 4))
+    gi, gw = benchmark(
+        adjoint_backward,
+        _CRITIC.circuit,
+        _CRITIC.observables,
+        _STATES,
+        _CRITIC_W,
+        upstream,
+    )
+    assert gw.shape == (50,)
+
+
+def test_noisy_density_forward_batch16(benchmark):
+    backend = DensityMatrixBackend(NoiseModel(0.01))
+    out = benchmark(
+        backend.run, _ACTOR.circuit, _ACTOR.observables, _OBS[:16], _ACTOR_W
+    )
+    assert out.shape == (16, 4)
+
+
+def test_team_rollout_action_selection(benchmark):
+    """One decentralised-execution step for a 4-agent quantum team."""
+    actors = [
+        QuantumActor(_ACTOR, np.random.default_rng(i)) for i in range(4)
+    ]
+    group = QuantumActorGroup(actors)
+    observations = [_RNG.uniform(size=4) for _ in range(4)]
+    rng = np.random.default_rng(5)
+    actions = benchmark(group.act, observations, rng)
+    assert len(actions) == 4
+
+
+@pytest.mark.parametrize("n_qubits", [2, 4, 6, 8])
+def test_forward_scaling_with_qubits(benchmark, n_qubits):
+    """Statevector cost growth with register width (NISQ-scaling context)."""
+    vqc = build_vqc(n_qubits, n_qubits, 20, seed=3)
+    weights = vqc.initial_weights(_RNG)
+    inputs = _RNG.uniform(size=(16, n_qubits))
+    backend = StatevectorBackend()
+    out = benchmark(backend.run, vqc.circuit, vqc.observables, inputs, weights)
+    assert out.shape == (16, n_qubits)

@@ -1,0 +1,62 @@
+"""Tables I & II: configuration conformance and the parameter budgets.
+
+Verifies (and times) the construction of all four frameworks, checking the
+paper's central constraint: Proposed/Comp1/Comp2 operate on ~50 trainable
+parameters per network while Comp3 exceeds 40k in total, and the MDP sizes
+match Table I (4 actions, 4-feature observations, 16-feature state).
+"""
+
+import os
+
+from conftest import BENCH_SEED, emit
+
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.experiments.io import results_dir, save_json
+from repro.marl.frameworks import build_framework
+
+ENV = SingleHopConfig(episode_limit=5)
+TRAIN = TrainingConfig(episodes_per_epoch=1, actor_lr=1e-3, critic_lr=1e-3)
+
+
+def _build_all():
+    rows = {}
+    for name in ("proposed", "comp1", "comp2", "comp3", "random"):
+        framework = build_framework(
+            name, seed=BENCH_SEED, env_config=ENV, train_config=TRAIN
+        )
+        rows[name] = framework.metadata
+    return rows
+
+
+def test_table2_parameter_budget(benchmark):
+    rows = benchmark(_build_all)
+
+    assert rows["proposed"]["actor_parameters"] == 50
+    assert rows["proposed"]["critic_parameters"] == 50
+    assert rows["comp1"]["actor_parameters"] == 50
+    assert 40 <= rows["comp2"]["actor_parameters"] <= 60
+    assert rows["comp3"]["total_parameters"] > 40_000
+    assert rows["random"]["total_parameters"] == 0
+
+    assert ENV.n_actions == 4
+    assert ENV.observation_size == 4
+    assert ENV.state_size == 16
+
+    body = [
+        f"{'framework':<10} {'actor params':>13} {'critic params':>14} {'total':>8}"
+    ]
+    for name, meta in rows.items():
+        body.append(
+            f"{name:<10} {meta['actor_parameters']:>13} "
+            f"{meta['critic_parameters']:>14} {meta['total_parameters']:>8}"
+        )
+    body.append("")
+    body.append(
+        "Table II check: 50 gates in U_var (quantum), Comp2 ~50, Comp3 > 40k"
+    )
+    body.append(
+        f"Table I check: |A|={ENV.n_actions}, |o|={ENV.observation_size}, "
+        f"|s|={ENV.state_size}"
+    )
+    emit("Tables I & II — parameter budgets and MDP sizes", "\n".join(body))
+    save_json(rows, os.path.join(results_dir(), "table2_budgets.json"))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has one bench module.  Training-based figures share
+one smoke-scale Fig. 3 run (session-scoped) so the suite regenerates every
+panel without retraining four frameworks per panel; the headline bench
+(`bench_fig3a`) additionally times a real training run of the proposed
+framework.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated figure/table content; JSON artifacts are
+written to ``$REPRO_RESULTS_DIR`` (default ``./results``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.io import results_dir, save_json
+
+BENCH_SEED = 7
+BENCH_PRESET = os.environ.get("REPRO_BENCH_PRESET", "smoke")
+
+
+@pytest.fixture(scope="session")
+def fig3_result():
+    """One shared Fig. 3 training run (all four frameworks + random walk)."""
+    result = run_fig3(preset=BENCH_PRESET, seed=BENCH_SEED)
+    save_json(result, os.path.join(results_dir(), "bench_fig3.json"))
+    return result
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    """Directory collecting the regenerated series/tables."""
+    return results_dir()
+
+
+def emit(title, body):
+    """Print a regenerated table/figure body under a banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)

@@ -1,0 +1,53 @@
+"""Parameter-budget sweep: the paper's central constraint, made a dial.
+
+Section IV compares frameworks at a fixed ~50-trainable-parameter budget.
+This example sweeps the variational gate budget of the quantum framework
+and also trains the paper's random ansatz against the structured
+alternatives, showing how expressiveness and final reward scale.
+
+Run:  python examples/parameter_budget_sweep.py [--epochs 30]
+"""
+
+import argparse
+
+from repro.experiments.ablations import (
+    run_parameter_budget,
+    run_template_comparison,
+)
+from repro.viz.ascii_plots import sparkline
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--episode-limit", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    print("sweeping variational gate budgets ...")
+    budget = run_parameter_budget(
+        budgets=(10, 25, 50, 100),
+        train_epochs=args.epochs,
+        episode_limit=args.episode_limit,
+        seed=args.seed,
+    )
+    print(f"\n{'gate budget':>12} {'final reward':>13}")
+    for b, reward in zip(budget["budgets"], budget["final_rewards"]):
+        print(f"{b:>12} {reward:>13.3f}")
+    print(f"random walk: {budget['random_walk_return']:.3f}")
+    print(f"trend: {sparkline(budget['final_rewards'])}")
+
+    print("\ncomparing ansatz templates at the ~50-weight budget ...")
+    templates = run_template_comparison(
+        train_epochs=args.epochs,
+        episode_limit=args.episode_limit,
+        seed=args.seed,
+    )
+    print(f"\n{'template':<22} {'weights':>8} {'final reward':>13}")
+    for name in templates["templates"]:
+        print(f"{name:<22} {templates['actor_parameters'][name]:>8} "
+              f"{templates['final_rewards'][name]:>13.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "Quantum Multi-Agent Reinforcement Learning via
+Variational Quantum Circuit Design" (Yun et al., IEEE ICDCS 2022).
+
+The library is organised as four substrates plus an experiment harness:
+
+- :mod:`repro.quantum` — a numpy-only VQC simulator (statevector + noisy
+  density matrix), circuit IR, ansatz templates, the paper's multi-layer
+  angle state encoding, and three differentiation methods (adjoint,
+  parameter-shift, finite differences);
+- :mod:`repro.nn` — a reverse-mode autodiff engine with MLP layers, Adam,
+  and the hybrid :class:`~repro.nn.quantum_layer.QuantumLayer`;
+- :mod:`repro.envs` — the single-hop edge-to-cloud offloading environment
+  (Tables I & II) on a reusable queueing substrate;
+- :mod:`repro.marl` — the CTDE actor-critic (Algorithm 1), quantum /
+  classical / random actors and critics, and the four framework presets
+  (Proposed, Comp1, Comp2, Comp3) of Section IV;
+- :mod:`repro.experiments` — runners regenerating every table and figure.
+
+Quickstart::
+
+    from repro import build_framework
+    framework = build_framework("proposed", seed=7)
+    history = framework.train(n_epochs=50)
+    print(history.last("total_reward", window=10))
+"""
+
+from repro.config import (
+    ClassicalNetConfig,
+    SingleHopConfig,
+    TrainingConfig,
+    VQCConfig,
+)
+from repro.envs import SingleHopOffloadEnv
+from repro.marl import (
+    CTDETrainer,
+    Framework,
+    achievability,
+    build_framework,
+    evaluate_random_walk,
+)
+from repro.quantum import (
+    DensityMatrixBackend,
+    NoiseModel,
+    QuantumCircuit,
+    StatevectorBackend,
+    VQC,
+    build_vqc,
+)
+from repro.seeding import SeedSequenceFactory, make_rng, spawn_rngs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SingleHopConfig",
+    "VQCConfig",
+    "TrainingConfig",
+    "ClassicalNetConfig",
+    "SingleHopOffloadEnv",
+    "CTDETrainer",
+    "Framework",
+    "build_framework",
+    "evaluate_random_walk",
+    "achievability",
+    "QuantumCircuit",
+    "VQC",
+    "build_vqc",
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "NoiseModel",
+    "SeedSequenceFactory",
+    "make_rng",
+    "spawn_rngs",
+]

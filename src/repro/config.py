@@ -1,0 +1,199 @@
+"""Experiment configuration dataclasses.
+
+Defaults reproduce Table II of the paper.  Quantities the paper leaves
+unspecified (marked below) use documented, overridable defaults; DESIGN.md
+section 2 lists them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "SingleHopConfig",
+    "VQCConfig",
+    "ClassicalNetConfig",
+    "TrainingConfig",
+    "replace",
+]
+
+
+@dataclass(frozen=True)
+class SingleHopConfig:
+    """Single-hop offloading environment (Tables I & II).
+
+    Attributes:
+        n_clouds: ``K`` — number of cloud queues (Table II: 2).
+        n_agents: ``N`` — number of edge agents (Table II: 4).
+        packet_amounts: The action's packet-amount space ``P``
+            (Table II: {0.1, 0.2}).
+        w_p: Edge arrival hyper-parameter; arrivals are
+            ``U(0, w_p * q_max)`` (Table II: 0.3).
+        w_r: Overflow penalty weight in Eq. (1) (Table II: 4).
+        cloud_service_rate: Per-step packet volume each cloud transmits
+            onward (Table II: 0.3).
+        queue_capacity: ``q_max`` (Table II: 1).
+        episode_limit: Steps per episode (unspecified; default 100).  Total
+            reward scales linearly with this: with T=100 a random walk
+            averages about -9.4 here versus the paper's -33.2 (matching
+            would need T around 350); the scale-free *achievability*
+            comparison is unaffected.
+        initial_queue_level: Starting level of every queue as a fraction of
+            capacity, or ``"uniform"`` (unspecified; default 0.5).
+        conserve_packets: Paper-literal mode when False (an edge may
+            schedule more outflow than it holds, and the cloud receives the
+            scheduled amount); physically-conservative extension when True.
+    """
+
+    n_clouds: int = 2
+    n_agents: int = 4
+    packet_amounts: tuple = (0.1, 0.2)
+    w_p: float = 0.3
+    w_r: float = 4.0
+    cloud_service_rate: float = 0.3
+    queue_capacity: float = 1.0
+    episode_limit: int = 100
+    initial_queue_level: object = 0.5
+    conserve_packets: bool = False
+
+    def __post_init__(self):
+        if self.n_clouds < 1 or self.n_agents < 1:
+            raise ValueError("need at least one cloud and one agent")
+        if not self.packet_amounts:
+            raise ValueError("packet_amounts must be non-empty")
+        if any(p < 0 for p in self.packet_amounts):
+            raise ValueError("packet amounts must be non-negative")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if self.episode_limit < 1:
+            raise ValueError("episode_limit must be >= 1")
+
+    @property
+    def n_actions(self):
+        """``|A| = |I| * |P|`` — destination cloud x packet amount."""
+        return self.n_clouds * len(self.packet_amounts)
+
+    @property
+    def observation_size(self):
+        """Per Table I: own queue now & previous, plus every cloud queue."""
+        return 2 + self.n_clouds
+
+    @property
+    def state_size(self):
+        """Global state: the union of all agent observations."""
+        return self.n_agents * self.observation_size
+
+
+@dataclass(frozen=True)
+class VQCConfig:
+    """Variational-quantum-circuit hyper-parameters (Table II).
+
+    Attributes:
+        n_qubits: Register width for actors and critic (Table II: 4).
+        n_variational_gates: Gates in ``U_var`` = trainable parameters
+            (Table II: 50).
+        template: Ansatz family (paper: torchquantum-style ``"random"``).
+        encoding_scale: Feature-to-angle multiplier (unspecified; pi).
+        two_qubit_ratio: Fraction of entangling gates the random template
+            samples (unspecified; 0.25).
+        critic_value_scale: Fixed output scale mapping the critic's mean
+            ``<Z>`` in [-1, 1] onto the return range (unspecified; 30.0,
+            roughly the magnitude of the worst observed returns).
+        actor_logit_scale: Fixed multiplier on the actor's measured
+            expectations before the softmax (1.0 = the paper's plain
+            softmax; swept in ablations).
+        actor_policy_head: ``"softmax"`` — the paper's Section III-A1
+            equation ``pi = softmax(f(o))`` (bounded logits; the policy
+            retains a stochasticity floor) — or ``"born"`` — Fig. 2's
+            ``P(a_i)`` reading, where the policy is the measurement
+            distribution of the action qubits and can become deterministic.
+        gradient_method: ``"adjoint"`` (simulator-exact default) or
+            ``"parameter_shift"`` (hardware-faithful, required with noise).
+        actor_ansatz_seed / critic_ansatz_seed: Seeds fixing the *structure*
+            of the random ansatz.  These are architecture choices (part of
+            the configuration), deliberately independent of the framework's
+            run seed so that differently-seeded runs — and checkpoints —
+            share one circuit design, as the paper's fixed VQC does.
+    """
+
+    n_qubits: int = 4
+    n_variational_gates: int = 50
+    template: str = "random"
+    encoding_scale: float = float(np.pi)
+    two_qubit_ratio: float = 0.25
+    critic_value_scale: float = 30.0
+    actor_logit_scale: float = 1.0
+    actor_policy_head: str = "softmax"
+    gradient_method: str = "adjoint"
+    actor_ansatz_seed: int = 1001
+    critic_ansatz_seed: int = 2002
+
+    def __post_init__(self):
+        if self.n_qubits < 1:
+            raise ValueError("n_qubits must be >= 1")
+        if self.n_variational_gates < 1:
+            raise ValueError("n_variational_gates must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClassicalNetConfig:
+    """Classical MLP shapes for the baselines.
+
+    ``Comp2`` mirrors the quantum models' ~50-parameter budget; ``Comp3``
+    is the >40k-parameter reference (Section IV-C).
+    """
+
+    actor_hidden: tuple = ()
+    critic_hidden: tuple = ()
+    activation: str = "tanh"
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """CTDE training loop hyper-parameters (Algorithm 1 + Table II).
+
+    Attributes:
+        n_epochs: Training epochs (paper: 1000).
+        episodes_per_epoch: Episodes collected per epoch before one update
+            (unspecified; 4).
+        gamma: Discount factor (unspecified; 0.95).
+        actor_lr: Actor learning rate (Table II: 1e-4).
+        critic_lr: Critic learning rate (Table II: 1e-5).
+        target_update_period: Epochs between target-critic syncs
+            (unspecified; 10).
+        grad_clip: Optional global-norm gradient clip (unspecified; 10.0).
+        entropy_coef: Optional entropy bonus on the actor loss (0 = paper's
+            plain MAPG).
+        evaluation_episodes: Greedy-policy episodes used when evaluating.
+    """
+
+    n_epochs: int = 1000
+    episodes_per_epoch: int = 4
+    gamma: float = 0.95
+    actor_lr: float = 1e-4
+    critic_lr: float = 1e-5
+    target_update_period: int = 10
+    grad_clip: float = 10.0
+    entropy_coef: float = 0.0
+    evaluation_episodes: int = 8
+
+    def __post_init__(self):
+        if self.n_epochs < 1 or self.episodes_per_epoch < 1:
+            raise ValueError("epochs and episodes_per_epoch must be >= 1")
+        if not 0.0 <= self.gamma < 1.0:
+            raise ValueError("gamma must be in [0, 1)")
+        if self.actor_lr <= 0 or self.critic_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.target_update_period < 1:
+            raise ValueError("target_update_period must be >= 1")
+
+
+# Classical baseline shapes used by the paper's comparison (Section IV-C).
+# Comp2: ~50 trainable parameters per network (actor 4-5-4 = 49,
+# critic 16-3-1 = 55, bracketing the quantum models' exact 50);
+# Comp3: > 40k parameters overall (4x actor 4-64-64-4 plus critic
+# 16-160-160-1 = 47,601 total).
+COMP2_NET = ClassicalNetConfig(actor_hidden=(5,), critic_hidden=(3,))
+COMP3_NET = ClassicalNetConfig(actor_hidden=(64, 64), critic_hidden=(160, 160))

@@ -1,0 +1,33 @@
+"""Environment substrate: multi-agent API, queueing dynamics, offloading env."""
+
+from repro.envs.arrivals import (
+    BernoulliBurstArrivals,
+    DeterministicArrivals,
+    TruncatedPoissonArrivals,
+    UniformArrivals,
+)
+from repro.envs.base import Discrete, FeatureSpace, MultiAgentEnv, StepResult
+from repro.envs.queues import QueueBank, QueueUpdate, clip
+from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.envs.wrappers import EpisodeStatsWrapper, RewardScaleWrapper, Wrapper
+
+__all__ = [
+    "Discrete",
+    "FeatureSpace",
+    "MultiAgentEnv",
+    "StepResult",
+    "QueueBank",
+    "QueueUpdate",
+    "clip",
+    "UniformArrivals",
+    "BernoulliBurstArrivals",
+    "TruncatedPoissonArrivals",
+    "DeterministicArrivals",
+    "SingleHopOffloadEnv",
+    "MultiHopOffloadEnv",
+    "layered_topology",
+    "EpisodeStatsWrapper",
+    "RewardScaleWrapper",
+    "Wrapper",
+]

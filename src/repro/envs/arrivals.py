@@ -1,0 +1,114 @@
+"""Packet arrival processes feeding the edge queues.
+
+The paper draws edge arrivals uniformly: ``b ~ U(0, w_P * q_max)``.  The
+additional processes here exercise the environment under burstier traffic in
+the robustness ablations and provide deterministic streams for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "UniformArrivals",
+    "BernoulliBurstArrivals",
+    "TruncatedPoissonArrivals",
+    "DeterministicArrivals",
+]
+
+
+class UniformArrivals:
+    """The paper's process: i.i.d. ``U(0, w_p * q_max)`` per edge per step."""
+
+    def __init__(self, w_p, q_max):
+        if w_p < 0:
+            raise ValueError("w_p must be non-negative")
+        self.high = float(w_p) * float(q_max)
+
+    @property
+    def mean(self):
+        """Expected arrival volume per step."""
+        return self.high / 2.0
+
+    def sample(self, rng, n):
+        """Arrival volume for ``n`` queues."""
+        return rng.uniform(0.0, self.high, size=n)
+
+    def __repr__(self):
+        return f"UniformArrivals(high={self.high})"
+
+
+class BernoulliBurstArrivals:
+    """Bursty traffic: with probability ``p`` a burst of fixed size arrives."""
+
+    def __init__(self, burst_probability, burst_size):
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        if burst_size < 0:
+            raise ValueError("burst_size must be non-negative")
+        self.burst_probability = float(burst_probability)
+        self.burst_size = float(burst_size)
+
+    @property
+    def mean(self):
+        """Expected arrival volume per step."""
+        return self.burst_probability * self.burst_size
+
+    def sample(self, rng, n):
+        """Arrival volume for ``n`` queues."""
+        bursts = rng.random(n) < self.burst_probability
+        return np.where(bursts, self.burst_size, 0.0)
+
+    def __repr__(self):
+        return (
+            f"BernoulliBurstArrivals(p={self.burst_probability}, "
+            f"size={self.burst_size})"
+        )
+
+
+class TruncatedPoissonArrivals:
+    """Poisson packet counts of fixed size, truncated at a volume cap."""
+
+    def __init__(self, rate, packet_size, cap):
+        if rate < 0 or packet_size < 0 or cap < 0:
+            raise ValueError("rate, packet_size and cap must be non-negative")
+        self.rate = float(rate)
+        self.packet_size = float(packet_size)
+        self.cap = float(cap)
+
+    @property
+    def mean(self):
+        """Expected arrival volume per step (ignoring truncation)."""
+        return min(self.rate * self.packet_size, self.cap)
+
+    def sample(self, rng, n):
+        """Arrival volume for ``n`` queues."""
+        counts = rng.poisson(self.rate, size=n)
+        return np.minimum(counts * self.packet_size, self.cap)
+
+    def __repr__(self):
+        return (
+            f"TruncatedPoissonArrivals(rate={self.rate}, "
+            f"packet_size={self.packet_size}, cap={self.cap})"
+        )
+
+
+class DeterministicArrivals:
+    """Fixed arrival volume every step (testing aid)."""
+
+    def __init__(self, volume):
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        self.volume = float(volume)
+
+    @property
+    def mean(self):
+        """Expected (= exact) arrival volume per step."""
+        return self.volume
+
+    def sample(self, rng, n):
+        """Arrival volume for ``n`` queues."""
+        return np.full(n, self.volume)
+
+    def __repr__(self):
+        return f"DeterministicArrivals(volume={self.volume})"

@@ -1,0 +1,130 @@
+"""Clipped queue dynamics with under/overflow accounting.
+
+Implements the paper's queue update
+
+    q_{t+1} = clip(q_t - u_t + b_t, 0, q_max)
+
+for a bank of queues at once, while recording exactly the quantities the
+reward (Eq. 1) and the Fig. 3 metrics need: the *pre-clip* value
+``raw = q_t - u_t + b_t``, whether the queue bottomed out (``raw <= 0``),
+whether it overflowed (``raw >= q_max``), and the magnitudes
+``q_tilde = |raw|`` and ``q_hat = |q_max - q_tilde|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip", "QueueUpdate", "QueueBank"]
+
+_EVENT_ATOL = 1e-12
+
+
+def clip(value, low, high):
+    """The paper's clip: ``min(high, max(value, low))`` (vectorised)."""
+    return np.minimum(high, np.maximum(np.asarray(value, dtype=np.float64), low))
+
+
+class QueueUpdate:
+    """Full accounting of one queue-bank transition.
+
+    Attributes:
+        previous: Queue levels before the update.
+        raw: Pre-clip values ``q - u + b``.
+        levels: Post-clip queue levels.
+        empty: Boolean mask of underflow events (``raw <= 0``).
+        overflow: Boolean mask of overflow events (``raw >= q_max``).
+        q_tilde: ``|raw|`` — the underflow penalty magnitude of Eq. (1).
+        q_hat: ``|q_max - q_tilde|`` — the overflow penalty magnitude.
+    """
+
+    __slots__ = (
+        "previous",
+        "raw",
+        "levels",
+        "empty",
+        "overflow",
+        "q_tilde",
+        "q_hat",
+    )
+
+    def __init__(self, previous, raw, q_max):
+        self.previous = previous
+        self.raw = raw
+        self.levels = clip(raw, 0.0, q_max)
+        self.empty = raw <= _EVENT_ATOL
+        self.overflow = raw >= q_max - _EVENT_ATOL
+        self.q_tilde = np.abs(raw)
+        self.q_hat = np.abs(q_max - self.q_tilde)
+
+    @property
+    def overflow_amount(self):
+        """Total packet mass lost to overflow this step."""
+        excess = np.where(self.overflow, self.raw - self.levels, 0.0)
+        return float(np.maximum(excess, 0.0).sum())
+
+
+class QueueBank:
+    """A vector of queues sharing one capacity.
+
+    Args:
+        n_queues: Number of queues in the bank.
+        capacity: ``q_max`` shared by every queue.
+        initial_level: Starting level for :meth:`reset`, either a scalar in
+            ``[0, capacity]`` or ``"uniform"`` for random initialisation.
+    """
+
+    def __init__(self, n_queues, capacity, initial_level=0.5):
+        if n_queues < 1:
+            raise ValueError("n_queues must be >= 1")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.n_queues = int(n_queues)
+        self.capacity = float(capacity)
+        if not isinstance(initial_level, str):
+            initial_level = float(initial_level)
+            if not 0.0 <= initial_level <= self.capacity:
+                raise ValueError(
+                    f"initial level {initial_level} outside [0, {self.capacity}]"
+                )
+        elif initial_level != "uniform":
+            raise ValueError(f"unknown initial level mode {initial_level!r}")
+        self.initial_level = initial_level
+        self.levels = np.zeros(self.n_queues)
+
+    def reset(self, rng=None):
+        """Re-initialise levels; returns the starting level vector."""
+        if isinstance(self.initial_level, str):
+            if rng is None:
+                raise ValueError("uniform initialisation needs an rng")
+            self.levels = rng.uniform(0.0, self.capacity, size=self.n_queues)
+        else:
+            self.levels = np.full(self.n_queues, self.initial_level)
+        return self.levels.copy()
+
+    def step(self, outflow, inflow):
+        """Apply one clipped update; returns a :class:`QueueUpdate`.
+
+        Args:
+            outflow: ``u_t`` per queue (scalar or vector).
+            inflow: ``b_t`` per queue (scalar or vector).
+        """
+        outflow = np.broadcast_to(
+            np.asarray(outflow, dtype=np.float64), (self.n_queues,)
+        )
+        inflow = np.broadcast_to(
+            np.asarray(inflow, dtype=np.float64), (self.n_queues,)
+        )
+        if np.any(outflow < 0) or np.any(inflow < 0):
+            raise ValueError("outflow and inflow must be non-negative")
+        previous = self.levels.copy()
+        raw = previous - outflow + inflow
+        update = QueueUpdate(previous, raw, self.capacity)
+        self.levels = update.levels.copy()
+        return update
+
+    def __repr__(self):
+        return (
+            f"QueueBank(n_queues={self.n_queues}, capacity={self.capacity}, "
+            f"levels={np.round(self.levels, 3)})"
+        )

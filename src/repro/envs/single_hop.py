@@ -1,0 +1,194 @@
+"""The paper's single-hop packet-offloading environment (Section IV-A).
+
+``K`` clouds and ``N`` edge agents each own a clipped queue.  Every step,
+each edge agent picks an action ``(destination cloud, packet amount)`` from
+``A = I x P``; the chosen volume leaves its edge queue and arrives at the
+chosen cloud queue; clouds transmit a fixed volume onward; fresh packets
+arrive at the edges uniformly at random.  The shared team reward (Eq. 1)
+penalises cloud-queue underflow (idle cloud) and overflow (lost packets,
+weighted by ``w_R``).
+
+MDP (Table I):
+    observation  o_n = {q_e_n(t), q_e_n(t-1)} U {q_c_k(t)}_k
+    action       u_n in I x P
+    state        s = union of all observations
+    reward       Eq. (1), always <= 0
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SingleHopConfig
+from repro.envs.arrivals import UniformArrivals
+from repro.envs.base import Discrete, FeatureSpace, MultiAgentEnv, StepResult
+from repro.envs.queues import QueueBank
+
+__all__ = ["SingleHopOffloadEnv"]
+
+
+class SingleHopOffloadEnv(MultiAgentEnv):
+    """Edge-to-cloud offloading with clipped queues and Eq. (1) reward.
+
+    Args:
+        config: Environment parameters (defaults = Table II).
+        rng: Generator driving arrivals (and uniform queue initialisation).
+        arrivals: Arrival process for edge queues; defaults to the paper's
+            ``U(0, w_p * q_max)``.
+    """
+
+    def __init__(self, config=None, rng=None, arrivals=None):
+        self.config = config if config is not None else SingleHopConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        cfg = self.config
+        self.arrivals = (
+            arrivals
+            if arrivals is not None
+            else UniformArrivals(cfg.w_p, cfg.queue_capacity)
+        )
+
+        self.n_agents = cfg.n_agents
+        self.n_clouds = cfg.n_clouds
+        self.action_space = Discrete(cfg.n_actions)
+        self.observation_space = FeatureSpace(
+            0.0, cfg.queue_capacity, cfg.observation_size
+        )
+        self.state_size = cfg.state_size
+
+        self.edge_queues = QueueBank(
+            cfg.n_agents, cfg.queue_capacity, cfg.initial_queue_level
+        )
+        self.cloud_queues = QueueBank(
+            cfg.n_clouds, cfg.queue_capacity, cfg.initial_queue_level
+        )
+        self._prev_edge_levels = None
+        self._t = 0
+
+    # -- action coding --------------------------------------------------------
+
+    def decode_action(self, action):
+        """Map an action index to ``(destination_cloud, packet_amount)``."""
+        amounts = self.config.packet_amounts
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid action {action!r}")
+        action = int(action)
+        return action // len(amounts), amounts[action % len(amounts)]
+
+    def encode_action(self, destination, amount_index):
+        """Inverse of :meth:`decode_action` (by amount index)."""
+        n_amounts = len(self.config.packet_amounts)
+        if not 0 <= destination < self.n_clouds:
+            raise ValueError(f"destination {destination} out of range")
+        if not 0 <= amount_index < n_amounts:
+            raise ValueError(f"amount index {amount_index} out of range")
+        return destination * n_amounts + amount_index
+
+    # -- observations ------------------------------------------------------------
+
+    def _observations(self):
+        """Per-agent views per Table I, normalised to [0, 1] by q_max."""
+        q_max = self.config.queue_capacity
+        cloud = self.cloud_queues.levels / q_max
+        edge = self.edge_queues.levels / q_max
+        prev = self._prev_edge_levels / q_max
+        observations = []
+        for n in range(self.n_agents):
+            observations.append(
+                np.concatenate(([edge[n], prev[n]], cloud))
+            )
+        return observations
+
+    def _state(self, observations):
+        """Global state = concatenation of every agent's observation."""
+        return np.concatenate(observations)
+
+    # -- environment protocol -----------------------------------------------------
+
+    def reset(self):
+        """Start a new episode; returns ``(observations, state)``."""
+        self._t = 0
+        self.edge_queues.reset(self.rng)
+        self.cloud_queues.reset(self.rng)
+        self._prev_edge_levels = self.edge_queues.levels.copy()
+        observations = self._observations()
+        return observations, self._state(observations)
+
+    def step(self, actions):
+        """Advance one step given one action index per agent."""
+        self.validate_actions(actions)
+        cfg = self.config
+
+        destinations = np.empty(self.n_agents, dtype=np.int64)
+        scheduled = np.empty(self.n_agents)
+        for n, action in enumerate(actions):
+            destinations[n], scheduled[n] = self.decode_action(action)
+
+        if cfg.conserve_packets:
+            sent = np.minimum(scheduled, self.edge_queues.levels)
+        else:
+            sent = scheduled
+
+        cloud_inflow = np.zeros(self.n_clouds)
+        np.add.at(cloud_inflow, destinations, sent)
+
+        prev_edge_levels = self.edge_queues.levels.copy()
+        cloud_update = self.cloud_queues.step(
+            outflow=cfg.cloud_service_rate, inflow=cloud_inflow
+        )
+        edge_update = self.edge_queues.step(
+            outflow=scheduled if not cfg.conserve_packets else sent,
+            inflow=self.arrivals.sample(self.rng, self.n_agents),
+        )
+        self._prev_edge_levels = prev_edge_levels
+
+        reward = self._reward(cloud_update)
+        self._t += 1
+        done = self._t >= cfg.episode_limit
+
+        observations = self._observations()
+        info = self._info(cloud_update, edge_update, destinations, sent)
+        return StepResult(
+            observations, self._state(observations), reward, done, info
+        )
+
+    def _reward(self, cloud_update):
+        """Eq. (1): negative penalties on cloud underflow and overflow."""
+        cfg = self.config
+        empty_penalty = np.where(cloud_update.empty, cloud_update.q_tilde, 0.0)
+        overflow_penalty = np.where(
+            cloud_update.overflow, cloud_update.q_hat * cfg.w_r, 0.0
+        )
+        return -float(np.sum(empty_penalty + overflow_penalty))
+
+    def _info(self, cloud_update, edge_update, destinations, sent):
+        """Diagnostics for the Fig. 3 metrics and the Fig. 4 demonstration."""
+        all_levels = np.concatenate([edge_update.levels, cloud_update.levels])
+        n_slots = self.n_agents + self.n_clouds
+        return {
+            "t": self._t,
+            "cloud_levels": cloud_update.levels.copy(),
+            "edge_levels": edge_update.levels.copy(),
+            "cloud_empty": cloud_update.empty.copy(),
+            "cloud_overflow": cloud_update.overflow.copy(),
+            "edge_empty": edge_update.empty.copy(),
+            "edge_overflow": edge_update.overflow.copy(),
+            "mean_queue": float(all_levels.mean()),
+            "empty_ratio": float(
+                (cloud_update.empty.sum() + edge_update.empty.sum()) / n_slots
+            ),
+            "overflow_ratio": float(
+                (cloud_update.overflow.sum() + edge_update.overflow.sum())
+                / n_slots
+            ),
+            "overflow_amount": cloud_update.overflow_amount
+            + edge_update.overflow_amount,
+            "destinations": destinations.copy(),
+            "sent": sent.copy(),
+        }
+
+    def __repr__(self):
+        cfg = self.config
+        return (
+            f"SingleHopOffloadEnv(K={cfg.n_clouds}, N={cfg.n_agents}, "
+            f"|A|={cfg.n_actions}, T={cfg.episode_limit})"
+        )

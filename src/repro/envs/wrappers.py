@@ -1,0 +1,104 @@
+"""Environment wrappers: episode statistics and reward shaping hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.envs.base import MultiAgentEnv, StepResult
+
+__all__ = ["Wrapper", "EpisodeStatsWrapper", "RewardScaleWrapper"]
+
+
+class Wrapper(MultiAgentEnv):
+    """Transparent pass-through base for environment wrappers."""
+
+    def __init__(self, env):
+        self.env = env
+        self.n_agents = env.n_agents
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+        self.state_size = env.state_size
+
+    def reset(self):
+        """Delegate to the wrapped environment."""
+        return self.env.reset()
+
+    def step(self, actions):
+        """Delegate to the wrapped environment."""
+        return self.env.step(actions)
+
+    def __getattr__(self, name):
+        return getattr(self.env, name)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.env!r})"
+
+
+class EpisodeStatsWrapper(Wrapper):
+    """Accumulates per-episode totals of the Fig. 3 metrics.
+
+    After each completed episode, a summary dict is appended to
+    ``episode_summaries``: total reward, episode length, and time-averaged
+    queue level / empty ratio / overflow ratio.
+    """
+
+    def __init__(self, env):
+        super().__init__(env)
+        self.episode_summaries = []
+        self._reset_accumulators()
+
+    def _reset_accumulators(self):
+        self._reward_total = 0.0
+        self._steps = 0
+        self._queue_sum = 0.0
+        self._empty_sum = 0.0
+        self._overflow_sum = 0.0
+
+    def reset(self):
+        """Reset env and accumulators."""
+        self._reset_accumulators()
+        return self.env.reset()
+
+    def step(self, actions):
+        """Step and accumulate; finalises a summary at episode end."""
+        result = self.env.step(actions)
+        self._reward_total += result.reward
+        self._steps += 1
+        self._queue_sum += result.info["mean_queue"]
+        self._empty_sum += result.info["empty_ratio"]
+        self._overflow_sum += result.info["overflow_ratio"]
+        if result.done:
+            steps = max(self._steps, 1)
+            self.episode_summaries.append(
+                {
+                    "total_reward": self._reward_total,
+                    "length": self._steps,
+                    "mean_queue": self._queue_sum / steps,
+                    "empty_ratio": self._empty_sum / steps,
+                    "overflow_ratio": self._overflow_sum / steps,
+                }
+            )
+        return result
+
+    def last_summary(self):
+        """The most recent completed episode's summary (or ``None``)."""
+        return self.episode_summaries[-1] if self.episode_summaries else None
+
+
+class RewardScaleWrapper(Wrapper):
+    """Multiplies rewards by a constant (ablation aid; paper uses 1.0)."""
+
+    def __init__(self, env, scale):
+        super().__init__(env)
+        self.scale = float(scale)
+
+    def step(self, actions):
+        """Step with the reward scaled."""
+        result = self.env.step(actions)
+        return StepResult(
+            result.observations,
+            result.state,
+            result.reward * self.scale,
+            result.done,
+            result.info,
+        )

@@ -1,0 +1,78 @@
+"""Result persistence: JSON documents and CSV series for every experiment."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+__all__ = ["results_dir", "save_json", "load_json", "save_csv", "timestamp"]
+
+
+def results_dir(base=None):
+    """Resolve (and create) the results directory.
+
+    Defaults to ``$REPRO_RESULTS_DIR`` or ``./results``.
+    """
+    if base is None:
+        base = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def _sanitise(value):
+    """Make numpy types JSON-serialisable."""
+    if isinstance(value, dict):
+        return {str(k): _sanitise(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitise(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def save_json(document, path):
+    """Write a JSON document (numpy-safe); returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(_sanitise(document), f, indent=2)
+    return path
+
+
+def load_json(path):
+    """Read a JSON document."""
+    with open(path) as f:
+        return json.load(f)
+
+
+def save_csv(columns, path):
+    """Write a dict of equal-length columns as CSV; returns the path.
+
+    Args:
+        columns: Mapping ``name -> sequence``.
+        path: Output file path.
+    """
+    names = list(columns)
+    arrays = [list(columns[n]) for n in names]
+    lengths = {len(a) for a in arrays}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: {sorted(lengths)}")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        f.write(",".join(names) + "\n")
+        for row in zip(*arrays):
+            f.write(",".join(str(v) for v in row) + "\n")
+    return path
+
+
+def timestamp():
+    """Filesystem-friendly UTC timestamp."""
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())

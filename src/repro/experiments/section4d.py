@@ -1,0 +1,98 @@
+"""Section IV-D summary numbers: rewards, achievability, metric orderings.
+
+The paper's quantitative claims (Section IV-D):
+
+- total rewards: Proposed -3.0, Comp1 -16.6, Comp2 -22.5, Comp3 -2.8,
+  random walk -33.2 (absolute values scale with episode length; the
+  orderings and achievability are the reproduction targets);
+- achievability: Proposed 90.9 %, Comp1 49.8 %, Comp2 33.2 %, Comp3 91.5 %;
+- average queue: Proposed 0.460, Comp1 0.480, Comp2 0.510, Comp3 0.453;
+- queue-empty ratio order (high -> low): Comp2, Comp1, Proposed, Comp3;
+- overflow order (low -> high): Proposed, Comp3, Comp2, Comp1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import run_fig3
+
+__all__ = ["PAPER_REFERENCE", "run_section4d", "format_section4d_report"]
+
+PAPER_REFERENCE = {
+    "total_reward": {
+        "proposed": -3.0,
+        "comp1": -16.6,
+        "comp2": -22.5,
+        "comp3": -2.8,
+        "random": -33.2,
+    },
+    "achievability": {
+        "proposed": 0.909,
+        "comp1": 0.498,
+        "comp2": 0.332,
+        "comp3": 0.915,
+    },
+    "mean_queue": {
+        "proposed": 0.460,
+        "comp1": 0.480,
+        "comp2": 0.510,
+        "comp3": 0.453,
+    },
+    "empty_ratio_order_high_to_low": ["comp2", "comp1", "proposed", "comp3"],
+    "overflow_order_low_to_high": ["proposed", "comp3", "comp2", "comp1"],
+}
+
+
+def _order(summaries, key, reverse):
+    names = sorted(summaries, key=lambda n: summaries[n][key], reverse=reverse)
+    return names
+
+
+def run_section4d(preset="quick", seed=7, fig3_result=None):
+    """Compute the Section IV-D comparison (reusing a Fig. 3 run if given)."""
+    if fig3_result is None:
+        fig3_result = run_fig3(preset=preset, seed=seed)
+    summaries = fig3_result["summaries"]
+
+    measured_orders = {
+        "empty_ratio_order_high_to_low": _order(summaries, "empty_ratio", True),
+        "overflow_order_low_to_high": _order(summaries, "overflow_ratio", False),
+        "achievability_order_high_to_low": _order(summaries, "achievability", True),
+    }
+    return {
+        "experiment": "section4d",
+        "preset": fig3_result["preset"],
+        "seed": fig3_result["seed"],
+        "random_walk_return": fig3_result["random_walk_return"],
+        "summaries": summaries,
+        "orders": measured_orders,
+        "paper_reference": PAPER_REFERENCE,
+    }
+
+
+def format_section4d_report(result):
+    """Side-by-side paper-vs-measured table."""
+    summaries = result["summaries"]
+    paper = result["paper_reference"]
+    lines = [
+        "Section IV-D — paper vs measured",
+        f"random-walk return: paper -33.2 (T~350) | measured "
+        f"{result['random_walk_return']:.2f}",
+        "",
+        f"{'framework':<10} {'ach. paper':>11} {'ach. ours':>10} "
+        f"{'queue paper':>12} {'queue ours':>11}",
+    ]
+    for name in ("proposed", "comp1", "comp2", "comp3"):
+        if name not in summaries:
+            continue
+        lines.append(
+            f"{name:<10} {paper['achievability'][name]:>10.1%} "
+            f"{summaries[name]['achievability']:>9.1%} "
+            f"{paper['mean_queue'][name]:>12.3f} "
+            f"{summaries[name]['mean_queue']:>11.3f}"
+        )
+    lines.append("")
+    for key in ("empty_ratio_order_high_to_low", "overflow_order_low_to_high"):
+        lines.append(f"{key}:")
+        lines.append(f"  paper:    {' > '.join(paper[key])}")
+        lines.append(f"  measured: {' > '.join(result['orders'][key])}")
+    return "\n".join(lines)

@@ -1,0 +1,381 @@
+"""Actors: decentralised policies over local observations.
+
+Three families, matching the paper's comparison:
+
+- :class:`QuantumActor` — the paper's VQC policy
+  ``pi(u|o) = softmax(f(o; theta))`` (Proposed and Comp1);
+- :class:`ClassicalActor` — an MLP policy under the same parameter budget
+  (Comp2) or a much larger one (Comp3);
+- :class:`RandomActor` — the uniform random-walk reference used for the
+  achievability normalisation.
+
+:class:`QuantumActorGroup` exploits that all agents' actors share one
+circuit *structure* (they differ only in weights): during rollouts the whole
+team's action distributions are computed with a single batched circuit
+evaluation using per-sample weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Module, mlp
+from repro.nn.quantum_layer import QuantumLayer
+from repro.nn.tensor import as_tensor
+from repro.quantum.backends import StatevectorBackend
+
+__all__ = [
+    "QuantumActor",
+    "ClassicalActor",
+    "RandomActor",
+    "ActorGroup",
+    "QuantumActorGroup",
+]
+
+
+def _stable_softmax_np(logits):
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+def born_observables(n_action_qubits):
+    """The Pauli-Z correlation basis measured by the Born policy head.
+
+    For ``k`` action qubits, the measurement probabilities of the ``2**k``
+    outcomes are an exact linear function of the ``2**k - 1`` expectation
+    values ``<Z_S> = <prod_{i in S} Z_i>`` over non-empty subsets ``S``:
+
+        P(o) = 2**-k * (1 + sum_S (-1)**parity(o, S) <Z_S>)
+
+    Returns ``(observables, sign_matrix)`` with ``sign_matrix`` of shape
+    ``(2**k, 2**k - 1)``.
+    """
+    from repro.quantum.observables import PauliString
+
+    if n_action_qubits < 1:
+        raise ValueError("need at least one action qubit")
+    subsets = [
+        s for s in range(1, 2**n_action_qubits)
+    ]  # bitmask over qubits, non-empty
+    observables = [
+        PauliString(
+            {q: "Z" for q in range(n_action_qubits) if s >> q & 1}
+        )
+        for s in subsets
+    ]
+    n_outcomes = 2**n_action_qubits
+    signs = np.empty((n_outcomes, len(subsets)))
+    for outcome in range(n_outcomes):
+        # Outcome bit for qubit q, matching the simulator's convention of
+        # qubit 0 as the most-significant bit of the basis index.
+        bits = [
+            (outcome >> (n_action_qubits - 1 - q)) & 1
+            for q in range(n_action_qubits)
+        ]
+        for j, s in enumerate(subsets):
+            parity = sum(bits[q] for q in range(n_action_qubits) if s >> q & 1)
+            signs[outcome, j] = (-1.0) ** parity
+    return observables, signs
+
+
+class QuantumActor(Module):
+    """VQC policy: the paper's ``softmax(f(o))`` or a Born-measurement head.
+
+    Two heads, both using the same circuit and weight budget:
+
+    - ``policy_head="softmax"`` — the paper's Eq. in Section III-A1:
+      ``pi = softmax(logit_scale * <Z_j>)``.  Note the expectations are
+      bounded in [-1, 1], so with ``logit_scale=1`` the policy can never
+      exceed ``e^2``:1 odds (max prob ~0.71 for 4 actions) — a built-in
+      stochasticity floor.
+    - ``policy_head="born"`` — reads Fig. 2's ``P(a_i)`` annotation
+      literally: the policy *is* the measurement distribution of the first
+      ``log2(A)`` qubits.  Computed exactly (and differentiably) from the
+      Z-correlation expectations; this head can become deterministic.
+
+    Args:
+        vqc: Circuit bundle whose output count equals the action count
+            (softmax head) — for the born head the observables are replaced
+            by the correlation basis automatically.
+        rng: Generator for weight initialisation.
+        backend: Execution backend (exact statevector by default).
+        gradient_method: Differentiation method for training.
+        logit_scale: Softmax-head multiplier (1.0 = the paper's formula).
+        policy_head: ``"softmax"`` (paper formula, default) or ``"born"``.
+    """
+
+    def __init__(self, vqc, rng, backend=None, gradient_method="adjoint",
+                 logit_scale=1.0, policy_head="softmax"):
+        if policy_head not in ("softmax", "born"):
+            raise ValueError(f"unknown policy head {policy_head!r}")
+        self.policy_head = policy_head
+        self.n_actions = vqc.n_outputs
+        self._born_signs = None
+        if policy_head == "born":
+            n_action_qubits = int(np.log2(self.n_actions))
+            if 2**n_action_qubits != self.n_actions:
+                raise ValueError(
+                    "born head needs a power-of-two action count, got "
+                    f"{self.n_actions}"
+                )
+            observables, signs = born_observables(n_action_qubits)
+            from repro.quantum.vqc import VQC
+
+            vqc = VQC(vqc.circuit, observables, vqc.template)
+            self._born_signs = signs
+        self.layer = QuantumLayer(
+            vqc, rng, backend=backend, gradient_method=gradient_method
+        )
+        self.logit_scale = float(logit_scale)
+
+    _BORN_EPSILON = 1e-8
+
+    def _born_probs_np(self, expectations):
+        n_outcomes = self._born_signs.shape[0]
+        probs = (1.0 + expectations @ self._born_signs.T) / n_outcomes
+        probs = np.clip(probs, self._BORN_EPSILON, None)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def forward(self, observations):
+        """Action probabilities as a differentiable ``(B, A)`` tensor."""
+        outputs = self.layer(as_tensor(observations))
+        if self.policy_head == "born":
+            n_outcomes = self._born_signs.shape[0]
+            probs = (outputs @ self._born_signs.T + 1.0) * (1.0 / n_outcomes)
+            # Clamp the (nonneg-by-construction) probabilities away from 0
+            # so log-policy gradients stay finite under float round-off.
+            return (probs + self._BORN_EPSILON) * (
+                1.0 / (1.0 + self.n_actions * self._BORN_EPSILON)
+            )
+        return F.softmax(outputs * self.logit_scale, axis=-1)
+
+    def log_policy(self, observations):
+        """Log action probabilities, differentiable ``(B, A)``."""
+        if self.policy_head == "born":
+            return F.log(self.forward(observations))
+        logits = self.layer(as_tensor(observations)) * self.logit_scale
+        return F.log_softmax(logits, axis=-1)
+
+    def probabilities(self, observations):
+        """Non-differentiable fast path: numpy ``(B, A)`` probabilities."""
+        observations = np.asarray(observations, dtype=np.float64)
+        if observations.ndim == 1:
+            observations = observations[None, :]
+        vqc = self.layer.vqc
+        outputs = self.layer.backend.run(
+            vqc.circuit, vqc.observables, observations, self.layer.weights.data
+        )
+        if self.policy_head == "born":
+            return self._born_probs_np(outputs)
+        return _stable_softmax_np(outputs * self.logit_scale)
+
+    def sample_action(self, observation, rng):
+        """Sample one action from the policy for a single observation."""
+        probs = self.probabilities(observation)[0]
+        return int(rng.choice(len(probs), p=probs))
+
+    def greedy_action(self, observation):
+        """Arg-max action (decentralised execution, Section III-A1)."""
+        return int(np.argmax(self.probabilities(observation)[0]))
+
+    def with_backend(self, backend, gradient_method="parameter_shift"):
+        """A clone sharing this actor's circuit and weights on another backend.
+
+        Used to evaluate a trained policy under noise or finite shots
+        without retraining (the weights tensor is shared, not copied).
+        """
+        clone = QuantumActor.__new__(QuantumActor)
+        layer = QuantumLayer.__new__(QuantumLayer)
+        layer.vqc = self.layer.vqc
+        layer.backend = backend
+        layer.gradient_method = gradient_method
+        layer.weights = self.layer.weights
+        clone.layer = layer
+        clone.logit_scale = self.logit_scale
+        clone.n_actions = self.n_actions
+        clone.policy_head = self.policy_head
+        clone._born_signs = self._born_signs
+        return clone
+
+
+class ClassicalActor(Module):
+    """MLP policy under a configurable parameter budget (Comp2 / Comp3)."""
+
+    def __init__(self, obs_size, n_actions, hidden, rng, activation="tanh"):
+        sizes = (obs_size, *hidden, n_actions)
+        self.net = mlp(sizes, rng, activation=activation)
+        self.n_actions = int(n_actions)
+
+    def forward(self, observations):
+        """Action probabilities as a differentiable ``(B, A)`` tensor."""
+        return F.softmax(self.net(as_tensor(observations)), axis=-1)
+
+    def log_policy(self, observations):
+        """Log action probabilities, differentiable ``(B, A)``."""
+        return F.log_softmax(self.net(as_tensor(observations)), axis=-1)
+
+    def probabilities(self, observations):
+        """Numpy probabilities without touching gradients."""
+        observations = np.asarray(observations, dtype=np.float64)
+        if observations.ndim == 1:
+            observations = observations[None, :]
+        return self.forward(observations).data
+
+    def sample_action(self, observation, rng):
+        """Sample one action from the policy for a single observation."""
+        probs = self.probabilities(observation)[0]
+        return int(rng.choice(len(probs), p=probs))
+
+    def greedy_action(self, observation):
+        """Arg-max action."""
+        return int(np.argmax(self.probabilities(observation)[0]))
+
+
+class RandomActor:
+    """Uniform policy — the paper's random-walk reference."""
+
+    def __init__(self, n_actions):
+        self.n_actions = int(n_actions)
+
+    def probabilities(self, observations):
+        """Uniform ``(B, A)`` probabilities."""
+        observations = np.asarray(observations)
+        batch = observations.shape[0] if observations.ndim > 1 else 1
+        return np.full((batch, self.n_actions), 1.0 / self.n_actions)
+
+    def sample_action(self, observation, rng):
+        """Uniformly random action."""
+        return int(rng.integers(self.n_actions))
+
+    def greedy_action(self, observation):
+        """Random actors have no greedy mode; still random by design."""
+        raise RuntimeError(
+            "RandomActor has no greedy action; evaluate it stochastically"
+        )
+
+    def parameters(self):
+        """Random actors are parameterless."""
+        return []
+
+    def n_parameters(self):
+        """Zero trainable parameters."""
+        return 0
+
+
+class ActorGroup:
+    """A team of per-agent actors with a uniform act() interface."""
+
+    def __init__(self, actors):
+        self.actors = list(actors)
+        if not self.actors:
+            raise ValueError("need at least one actor")
+
+    @property
+    def n_agents(self):
+        """Team size."""
+        return len(self.actors)
+
+    def act(self, observations, rng, greedy=False):
+        """One action per agent given the per-agent observation list."""
+        actions = []
+        for actor, obs in zip(self.actors, observations):
+            if greedy:
+                actions.append(actor.greedy_action(obs))
+            else:
+                actions.append(actor.sample_action(obs, rng))
+        return actions
+
+    def parameters(self):
+        """All trainable parameters across the team."""
+        params = []
+        for actor in self.actors:
+            params.extend(actor.parameters())
+        return params
+
+    def n_parameters(self):
+        """Total trainable parameter count across the team."""
+        return sum(actor.n_parameters() for actor in self.actors)
+
+    def zero_grad(self):
+        """Clear gradients on every actor."""
+        for actor in self.actors:
+            if hasattr(actor, "zero_grad"):
+                actor.zero_grad()
+
+
+class QuantumActorGroup(ActorGroup):
+    """Quantum team with single-circuit batched, compiled rollouts.
+
+    All actors must share one circuit structure (same ansatz seed); each
+    keeps its own weight vector.  ``act`` stacks the team's observations
+    ``(N, obs)`` and weights ``(N, n_weights)`` and evaluates the shared
+    circuit once with per-sample weights — one simulator call per
+    environment step instead of N.  On the exact statevector backend the
+    frozen variational block is additionally *compiled* into per-agent
+    unitaries that are cached between weight updates
+    (:class:`~repro.quantum.compile.CompiledCircuit`), so a rollout step
+    costs one encoding pass plus one small matmul.
+    """
+
+    def __init__(self, actors, compile_rollouts=True):
+        super().__init__(actors)
+        first = self.actors[0]
+        if not all(
+            a.layer.vqc.circuit is first.layer.vqc.circuit for a in self.actors
+        ):
+            raise ValueError(
+                "QuantumActorGroup requires actors sharing one circuit object"
+            )
+        self._circuit = first.layer.vqc.circuit
+        self._observables = first.layer.vqc.observables
+        self._logit_scale = first.logit_scale
+        self._head_actor = first
+        if not all(a.policy_head == first.policy_head for a in self.actors):
+            raise ValueError("all actors must share one policy head")
+        # Batched evaluation is only exact when measurements are exact; with
+        # shots or noise, fall back to per-actor calls.
+        backend = first.layer.backend
+        self._fast_backend = (
+            backend
+            if isinstance(backend, StatevectorBackend) and backend.shots is None
+            else None
+        )
+        self._compiled = None
+        if compile_rollouts and self._fast_backend is not None:
+            from repro.quantum.compile import CompiledCircuit
+
+            self._compiled = CompiledCircuit(self._circuit, self._observables)
+
+    def team_probabilities(self, observations):
+        """``(N, A)`` action probabilities for the whole team at once."""
+        if self._fast_backend is None:
+            return np.concatenate(
+                [a.probabilities(o) for a, o in zip(self.actors, observations)]
+            )
+        stacked_obs = np.stack(
+            [np.asarray(o, dtype=np.float64) for o in observations]
+        )
+        stacked_weights = np.stack(
+            [a.layer.weights.data for a in self.actors]
+        )
+        if self._compiled is not None:
+            outputs = self._compiled.run(stacked_obs, stacked_weights)
+        else:
+            outputs = self._fast_backend.run(
+                self._circuit, self._observables, stacked_obs, stacked_weights
+            )
+        if self._head_actor.policy_head == "born":
+            return self._head_actor._born_probs_np(outputs)
+        return _stable_softmax_np(outputs * self._logit_scale)
+
+    def act(self, observations, rng, greedy=False):
+        """One action per agent, computed with one batched circuit call."""
+        probs = self.team_probabilities(observations)
+        if greedy:
+            return [int(a) for a in np.argmax(probs, axis=1)]
+        actions = []
+        for row in probs:
+            actions.append(int(rng.choice(len(row), p=row)))
+        return actions

@@ -1,0 +1,125 @@
+"""Framework checkpointing: save and restore trained policies.
+
+A checkpoint captures every trainable parameter of a framework (all actor
+weights and both critics), its metadata, and the training epoch, as a
+single ``.npz`` file plus a JSON header.  Restoring into a freshly built
+framework with the same configuration reproduces the policy exactly —
+enabling the evaluate-under-noise / demonstration workflows to reuse
+expensive training runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_info"]
+
+_FORMAT_VERSION = 1
+
+
+def _framework_state(framework):
+    """Flatten a framework's parameters into one dict of arrays."""
+    state = {}
+    for i, actor in enumerate(framework.actors.actors):
+        if hasattr(actor, "state_dict"):
+            for key, value in actor.state_dict().items():
+                state[f"actor.{i}.{key}"] = value
+    if framework.trainer is not None:
+        for key, value in framework.trainer.critic.state_dict().items():
+            state[f"critic.{key}"] = value
+        for key, value in framework.trainer.target_critic.state_dict().items():
+            state[f"target_critic.{key}"] = value
+    return state
+
+
+def save_checkpoint(framework, path):
+    """Write a framework checkpoint; returns the path.
+
+    Args:
+        framework: A built (optionally trained) framework.
+        path: Target ``.npz`` path (a ``.json`` header is written alongside).
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    state = _framework_state(framework)
+    np.savez(path, **state)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "framework": framework.name,
+        "epoch": framework.trainer.epoch if framework.trainer else 0,
+        "metadata": framework.metadata,
+        "arrays": sorted(state),
+    }
+    with open(path.replace(".npz", ".json"), "w") as f:
+        json.dump(header, f, indent=2)
+    return path
+
+
+def checkpoint_info(path):
+    """Read a checkpoint's JSON header without loading arrays."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with open(path.replace(".npz", ".json")) as f:
+        return json.load(f)
+
+
+def load_checkpoint(framework, path, strict=True):
+    """Restore parameters into a compatible framework; returns ``framework``.
+
+    Args:
+        framework: A framework built with the *same configuration* (name,
+            env sizes, budgets) as the one that was saved.
+        path: Checkpoint path written by :func:`save_checkpoint`.
+        strict: When True, the checkpoint's framework name must match.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    header = checkpoint_info(path)
+    if strict and header["framework"] != framework.name:
+        raise ValueError(
+            f"checkpoint is for {header['framework']!r}, "
+            f"got a {framework.name!r} framework"
+        )
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+
+    expected = _framework_state(framework)
+    missing = set(expected) - set(state)
+    unexpected = set(state) - set(expected)
+    if missing or unexpected:
+        raise KeyError(
+            f"checkpoint mismatch; missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}"
+        )
+
+    for i, actor in enumerate(framework.actors.actors):
+        if hasattr(actor, "load_state_dict"):
+            prefix = f"actor.{i}."
+            actor.load_state_dict(
+                {
+                    key[len(prefix):]: value
+                    for key, value in state.items()
+                    if key.startswith(prefix)
+                }
+            )
+    if framework.trainer is not None:
+        framework.trainer.critic.load_state_dict(
+            {
+                key[len("critic."):]: value
+                for key, value in state.items()
+                if key.startswith("critic.")
+            }
+        )
+        framework.trainer.target_critic.load_state_dict(
+            {
+                key[len("target_critic."):]: value
+                for key, value in state.items()
+                if key.startswith("target_critic.")
+            }
+        )
+        framework.trainer.epoch = int(header.get("epoch", 0))
+    return framework

@@ -1,0 +1,96 @@
+"""Centralised critics: state-value functions over the global state.
+
+The CTDE trainer uses one critic for the whole team (Section III-A2):
+
+- :class:`QuantumCentralCritic` — the paper's VQC critic.  The global state
+  (16 features for N=4) passes through the multi-layer angle encoder onto 4
+  qubits; the state value is the mean of the per-qubit ``<Z>`` expectations
+  times a fixed ``value_scale``, keeping the trainable count at exactly the
+  ansatz's gate budget (Table II's 50).
+- :class:`ClassicalCentralCritic` — MLP critic (Comp1's hybrid pairing and
+  Comp2/Comp3's classical stacks).
+
+Both expose ``forward`` (differentiable) and ``values`` (numpy fast path,
+used for TD targets through the frozen target critic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module, mlp
+from repro.nn.quantum_layer import QuantumLayer
+from repro.nn.tensor import as_tensor
+
+__all__ = ["QuantumCentralCritic", "ClassicalCentralCritic"]
+
+
+class QuantumCentralCritic(Module):
+    """VQC state-value function ``V(s) = value_scale * mean_j <Z_j>``.
+
+    Args:
+        vqc: Circuit bundle whose encoder consumes the global state.
+        rng: Generator for weight initialisation.
+        backend: Execution backend.
+        gradient_method: Differentiation method.
+        value_scale: Fixed output scale mapping ``[-1, 1]`` onto the return
+            range (see DESIGN.md "Critic value head").
+        trainable_head: When True, adds a 2-parameter affine head instead of
+            the fixed scale (breaks the strict 50-parameter budget; used in
+            ablations).
+    """
+
+    def __init__(
+        self,
+        vqc,
+        rng,
+        backend=None,
+        gradient_method="adjoint",
+        value_scale=30.0,
+        trainable_head=False,
+    ):
+        self.layer = QuantumLayer(
+            vqc, rng, backend=backend, gradient_method=gradient_method
+        )
+        self.value_scale = float(value_scale)
+        self.head = Linear(vqc.n_outputs, 1, rng) if trainable_head else None
+
+    def forward(self, states):
+        """Differentiable state values, shape ``(B,)``."""
+        features = self.layer(as_tensor(states))
+        if self.head is not None:
+            return self.head(features).reshape(-1)
+        return features.mean(axis=1) * self.value_scale
+
+    def values(self, states):
+        """Numpy state values (no gradient graph), shape ``(B,)``."""
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim == 1:
+            states = states[None, :]
+        vqc = self.layer.vqc
+        expectations = self.layer.backend.run(
+            vqc.circuit, vqc.observables, states, self.layer.weights.data
+        )
+        if self.head is not None:
+            out = expectations @ self.head.weight.data + self.head.bias.data
+            return out[:, 0]
+        return expectations.mean(axis=1) * self.value_scale
+
+
+class ClassicalCentralCritic(Module):
+    """MLP state-value function ``V(s)`` over the global state."""
+
+    def __init__(self, state_size, hidden, rng, activation="tanh"):
+        sizes = (state_size, *hidden, 1)
+        self.net = mlp(sizes, rng, activation=activation)
+
+    def forward(self, states):
+        """Differentiable state values, shape ``(B,)``."""
+        return self.net(as_tensor(states)).reshape(-1)
+
+    def values(self, states):
+        """Numpy state values (no gradient graph), shape ``(B,)``."""
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim == 1:
+            states = states[None, :]
+        return self.forward(states).data

@@ -1,0 +1,70 @@
+"""Multi-agent policy-gradient losses (Section IV-B).
+
+The paper trains with
+
+    grad_theta_n J = -E[ sum_t sum_n  y_t * grad log pi_theta(u_t^n | o_t^n) ]
+    grad_psi    J =  grad_psi sum_t || y_t ||^2
+    y_t = r(s_t, u_t) + gamma * V_phi(s_{t+1}) - V_psi(s_t)
+
+where ``phi`` is the frozen target critic.  The TD error ``y_t`` doubles as
+the actors' advantage signal and the critic's regression residual; for the
+actor loss it is treated as a constant (no gradient flows through it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+__all__ = ["td_targets", "td_errors", "actor_loss", "critic_loss", "entropy_bonus"]
+
+
+def td_targets(rewards, next_values, dones, gamma):
+    """Bootstrapped targets ``r + gamma * V_phi(s')`` (zero beyond terminal).
+
+    Args:
+        rewards: ``(B,)`` team rewards.
+        next_values: ``(B,)`` target-critic values of the next states.
+        dones: ``(B,)`` terminal flags; bootstrapping is masked where True.
+        gamma: Discount factor.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    next_values = np.asarray(next_values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    return rewards + gamma * np.where(dones, 0.0, next_values)
+
+
+def td_errors(targets, values):
+    """``y_t = target - V_psi(s_t)`` as a plain numpy advantage signal."""
+    return np.asarray(targets, dtype=np.float64) - np.asarray(
+        values, dtype=np.float64
+    )
+
+
+def actor_loss(log_probs, actions, advantages):
+    """``-(1/B) sum_t y_t log pi(u_t | o_t)`` for one agent.
+
+    Args:
+        log_probs: Differentiable ``(B, A)`` log-policy tensor.
+        actions: ``(B,)`` executed action indices.
+        advantages: ``(B,)`` numpy TD errors (treated as constants).
+
+    Returns a scalar tensor.  Mean reduction keeps the gradient scale
+    independent of the batch size (Adam adapts either way; the paper's sum
+    is recovered by scaling the learning rate).
+    """
+    taken = F.gather(log_probs, np.asarray(actions, dtype=np.int64))
+    advantages = np.asarray(advantages, dtype=np.float64)
+    return -(taken * advantages).mean()
+
+
+def critic_loss(values, targets):
+    """``(1/B) sum_t || y_t ||^2`` with gradients through ``V_psi`` only."""
+    return F.mse_loss(values, np.asarray(targets, dtype=np.float64))
+
+
+def entropy_bonus(probabilities, epsilon=1e-12):
+    """Mean policy entropy (differentiable), for the optional exploration bonus."""
+    clamped = probabilities + epsilon
+    return -(probabilities * F.log(clamped)).sum(axis=1).mean()

@@ -1,0 +1,229 @@
+"""The CTDE training loop (Algorithm 1).
+
+One trainer epoch:
+
+1. roll out ``episodes_per_epoch`` episodes with every agent *sampling*
+   from its decentralised policy (line 6);
+2. form the transition batch ``D`` (line 9);
+3. compute TD targets ``y_t`` with the frozen target critic (lines 13-14);
+4. descend the critic on ``sum ||y_t||^2`` and every actor on
+   ``-sum y_t log pi`` (line 16);
+5. periodically sync the target critic (lines 17-19).
+
+The buffer is cleared after each update (MAPG is on-policy; see
+:mod:`repro.marl.buffer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.marl import mapg
+from repro.marl.buffer import Episode, RolloutBuffer
+from repro.marl.metrics import MetricsHistory
+from repro.nn.optim import Adam, clip_grad_norm
+
+__all__ = ["CTDETrainer", "rollout_episode"]
+
+
+def rollout_episode(env, actor_group, rng, greedy=False):
+    """Roll out one episode; returns ``(episode, stats)``.
+
+    ``stats`` carries the Fig. 3 quantities averaged over the episode:
+    total reward, mean queue level, empty ratio and overflow ratio.
+    Standalone so non-trainable policies (the random walk) can be evaluated
+    with exactly the same accounting as trained frameworks.
+    """
+    episode = Episode()
+    observations, state = env.reset()
+    done = False
+    queue_sum = empty_sum = overflow_sum = 0.0
+    steps = 0
+    while not done:
+        actions = actor_group.act(observations, rng, greedy=greedy)
+        result = env.step(actions)
+        episode.add(
+            state,
+            observations,
+            actions,
+            result.reward,
+            result.state,
+            result.observations,
+            result.done,
+        )
+        queue_sum += result.info["mean_queue"]
+        empty_sum += result.info["empty_ratio"]
+        overflow_sum += result.info["overflow_ratio"]
+        steps += 1
+        observations, state = result.observations, result.state
+        done = result.done
+    episode.finish()
+    stats = {
+        "total_reward": episode.total_reward,
+        "length": steps,
+        "mean_queue": queue_sum / steps,
+        "empty_ratio": empty_sum / steps,
+        "overflow_ratio": overflow_sum / steps,
+    }
+    return episode, stats
+
+
+class CTDETrainer:
+    """Centralised-training / decentralised-execution actor-critic.
+
+    Args:
+        env: A :class:`~repro.envs.base.MultiAgentEnv`.
+        actor_group: An :class:`~repro.marl.actors.ActorGroup` (one policy
+            per agent).
+        critic: Centralised critic ``V_psi``.
+        target_critic: Frozen copy ``V_phi`` (same architecture).
+        config: :class:`~repro.config.TrainingConfig`.
+        rng: Generator for action sampling.
+    """
+
+    def __init__(self, env, actor_group, critic, target_critic, config, rng):
+        if env.n_agents != actor_group.n_agents:
+            raise ValueError(
+                f"env has {env.n_agents} agents, group has "
+                f"{actor_group.n_agents}"
+            )
+        self.env = env
+        self.actors = actor_group
+        self.critic = critic
+        self.target_critic = target_critic
+        self.config = config
+        self.rng = rng
+        self.buffer = RolloutBuffer(capacity=max(64, config.episodes_per_epoch))
+        self.history = MetricsHistory()
+        self.epoch = 0
+
+        actor_params = actor_group.parameters()
+        self.actor_optimizer = (
+            Adam(actor_params, lr=config.actor_lr) if actor_params else None
+        )
+        self.critic_optimizer = Adam(critic.parameters(), lr=config.critic_lr)
+        self.sync_target()
+
+    # -- rollouts ------------------------------------------------------------
+
+    def sync_target(self):
+        """Copy the online critic into the target critic (``phi <- psi``)."""
+        self.target_critic.load_state_dict(self.critic.state_dict())
+
+    def collect_episode(self, greedy=False):
+        """Roll out one episode with the current policies."""
+        return rollout_episode(self.env, self.actors, self.rng, greedy=greedy)
+
+    # -- updates ----------------------------------------------------------------
+
+    def update(self, batch):
+        """One gradient step on critic and actors from a transition batch."""
+        cfg = self.config
+
+        # Critic forward (differentiable) + frozen bootstrap values.
+        values = self.critic(batch.states)
+        next_values = self.target_critic.values(batch.next_states)
+        targets = mapg.td_targets(batch.rewards, next_values, batch.dones, cfg.gamma)
+        advantages = mapg.td_errors(targets, values.data)
+
+        critic_loss = mapg.critic_loss(values, targets)
+        self.critic_optimizer.zero_grad()
+        critic_loss.backward()
+        if cfg.grad_clip is not None:
+            clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
+        self.critic_optimizer.step()
+
+        actor_loss_value = 0.0
+        if self.actor_optimizer is not None:
+            total_loss = None
+            for n, actor in enumerate(self.actors.actors):
+                log_probs = actor.log_policy(batch.agent_observations(n))
+                loss_n = mapg.actor_loss(
+                    log_probs, batch.agent_actions(n), advantages
+                )
+                if cfg.entropy_coef > 0.0:
+                    probs = actor(batch.agent_observations(n))
+                    loss_n = loss_n - cfg.entropy_coef * mapg.entropy_bonus(probs)
+                total_loss = loss_n if total_loss is None else total_loss + loss_n
+            self.actor_optimizer.zero_grad()
+            total_loss.backward()
+            if cfg.grad_clip is not None:
+                clip_grad_norm(self.actors.parameters(), cfg.grad_clip)
+            self.actor_optimizer.step()
+            actor_loss_value = total_loss.item()
+
+        return {
+            "critic_loss": critic_loss.item(),
+            "actor_loss": actor_loss_value,
+            "mean_abs_td_error": float(np.mean(np.abs(advantages))),
+            "mean_value": float(np.mean(values.data)),
+        }
+
+    def train_epoch(self):
+        """Collect one batch of episodes, update once, record metrics."""
+        cfg = self.config
+        self.buffer.clear()
+        episode_stats = []
+        for _ in range(cfg.episodes_per_epoch):
+            episode, stats = self.collect_episode(greedy=False)
+            self.buffer.add_episode(episode)
+            episode_stats.append(stats)
+
+        update_stats = self.update(self.buffer.batch())
+
+        self.epoch += 1
+        if self.epoch % cfg.target_update_period == 0:
+            self.sync_target()
+
+        record = {
+            "epoch": self.epoch,
+            "total_reward": float(
+                np.mean([s["total_reward"] for s in episode_stats])
+            ),
+            "mean_queue": float(np.mean([s["mean_queue"] for s in episode_stats])),
+            "empty_ratio": float(
+                np.mean([s["empty_ratio"] for s in episode_stats])
+            ),
+            "overflow_ratio": float(
+                np.mean([s["overflow_ratio"] for s in episode_stats])
+            ),
+        }
+        record.update(update_stats)
+        self.history.append(record)
+        return record
+
+    def train(self, n_epochs=None, callback=None):
+        """Run the full loop; returns the :class:`MetricsHistory`.
+
+        Args:
+            n_epochs: Number of epochs (defaults to the config's).
+            callback: Optional ``fn(record)`` called after each epoch
+                (progress printing, early stopping by raising StopIteration).
+        """
+        n_epochs = n_epochs if n_epochs is not None else self.config.n_epochs
+        for _ in range(n_epochs):
+            record = self.train_epoch()
+            if callback is not None:
+                try:
+                    callback(record)
+                except StopIteration:
+                    break
+        return self.history
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, n_episodes=None, greedy=True):
+        """Run evaluation episodes; returns averaged episode stats."""
+        n_episodes = (
+            n_episodes
+            if n_episodes is not None
+            else self.config.evaluation_episodes
+        )
+        all_stats = []
+        for _ in range(n_episodes):
+            _, stats = self.collect_episode(greedy=greedy)
+            all_stats.append(stats)
+        return {
+            key: float(np.mean([s[key] for s in all_stats]))
+            for key in all_stats[0]
+        }

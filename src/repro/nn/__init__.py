@@ -1,0 +1,43 @@
+"""Classical neural-network substrate: autodiff, layers, optimisers.
+
+A numpy-only replacement for the slice of PyTorch the paper depends on:
+reverse-mode autodiff (:mod:`~repro.nn.tensor`), differentiable functions
+(:mod:`~repro.nn.functional`), modules (:mod:`~repro.nn.layers`), optimisers
+(:mod:`~repro.nn.optim`) and the hybrid quantum layer
+(:mod:`~repro.nn.quantum_layer`).
+"""
+
+from repro.nn import functional
+from repro.nn.layers import (
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    count_parameters,
+    mlp,
+)
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.quantum_layer import QuantumLayer
+from repro.nn.tensor import Parameter, Tensor, as_tensor
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "Parameter",
+    "as_tensor",
+    "Module",
+    "Linear",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Sequential",
+    "mlp",
+    "count_parameters",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "QuantumLayer",
+]

@@ -1,0 +1,24 @@
+"""Weight initialisers for linear layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_fan_in", "xavier_uniform", "zeros"]
+
+
+def uniform_fan_in(rng, fan_in, shape):
+    """PyTorch's default Linear init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(rng, fan_in, fan_out, shape):
+    """Glorot/Xavier uniform init."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape):
+    """All-zero init (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,201 @@
+"""Neural-network modules: the classical half of the hybrid models.
+
+A tiny PyTorch-shaped module system.  Modules discover their parameters (and
+sub-modules' parameters) by attribute reflection; ``state_dict`` /
+``load_state_dict`` enable the target-critic synchronisation step of the
+paper's Algorithm 1 (line 18, ``phi <- psi``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init as _init
+from repro.nn.tensor import Parameter, Tensor, as_tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Sequential",
+    "mlp",
+    "count_parameters",
+]
+
+
+class Module:
+    """Base class with parameter discovery and (de)serialisation."""
+
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def named_parameters(self, prefix=""):
+        """Yield ``(name, Parameter)`` pairs, recursing into sub-modules."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+
+    def parameters(self):
+        """All trainable parameters as a list."""
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self):
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self):
+        """Total trainable scalar count (the paper's parameter budget)."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self):
+        """Copy of every parameter's data, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        """Load parameter data (shapes must match exactly)."""
+        own = dict(self.named_parameters())
+        if set(own) != set(state):
+            missing = set(own) - set(state)
+            extra = set(state) - set(own)
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, p in own.items():
+            incoming = np.asarray(state[name], dtype=np.float64)
+            if incoming.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{incoming.shape} vs {p.data.shape}"
+                )
+            p.data = incoming.copy()
+
+    def __repr__(self):
+        return f"{type(self).__name__}(n_parameters={self.n_parameters()})"
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Args:
+        in_features: Input width.
+        out_features: Output width.
+        rng: Generator for weight initialisation.
+        bias: Include a bias term.
+    """
+
+    def __init__(self, in_features, out_features, rng, bias=True):
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            _init.uniform_fan_in(rng, in_features, (in_features, out_features))
+        )
+        self.bias = (
+            Parameter(_init.uniform_fan_in(rng, in_features, (out_features,)))
+            if bias
+            else None
+        )
+
+    def forward(self, x):
+        """Apply the affine map to a ``(B, in_features)`` tensor."""
+        x = as_tensor(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_features)
+        return out
+
+    def __repr__(self):
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Tanh(Module):
+    """Tanh activation module."""
+
+    def forward(self, x):
+        return F.tanh(x)
+
+
+class ReLU(Module):
+    """ReLU activation module."""
+
+    def forward(self, x):
+        return F.relu(x)
+
+
+class Sigmoid(Module):
+    """Sigmoid activation module."""
+
+    def forward(self, x):
+        return F.sigmoid(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules):
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __repr__(self):
+        inner = ", ".join(repr(m) for m in self.modules)
+        return f"Sequential({inner})"
+
+
+_ACTIVATIONS = {"tanh": Tanh, "relu": ReLU, "sigmoid": Sigmoid}
+
+
+def mlp(sizes, rng, activation="tanh", output_activation=None):
+    """Build a multi-layer perceptron.
+
+    Args:
+        sizes: Layer widths including input and output,
+            e.g. ``(4, 64, 64, 4)``.
+        rng: Generator for initialisation.
+        activation: Hidden activation name.
+        output_activation: Optional final activation name.
+    """
+    if len(sizes) < 2:
+        raise ValueError("mlp needs at least input and output sizes")
+    if activation not in _ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}")
+    modules = []
+    for i in range(len(sizes) - 1):
+        modules.append(Linear(sizes[i], sizes[i + 1], rng))
+        if i < len(sizes) - 2:
+            modules.append(_ACTIVATIONS[activation]())
+    if output_activation is not None:
+        if output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {output_activation!r}")
+        modules.append(_ACTIVATIONS[output_activation]())
+    return Sequential(*modules)
+
+
+def count_parameters(sizes):
+    """Parameter count of an :func:`mlp` with the given sizes (incl. biases)."""
+    return sum(
+        sizes[i] * sizes[i + 1] + sizes[i + 1] for i in range(len(sizes) - 1)
+    )

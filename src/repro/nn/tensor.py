@@ -1,0 +1,310 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+This is the substrate the paper gets from PyTorch: enough autodiff to train
+multi-layer perceptrons and hybrid quantum-classical models end-to-end.
+Design follows the classic tape-less recipe — every operation returns a new
+:class:`Tensor` holding a closure that knows how to push its output gradient
+back into its parents; :meth:`Tensor.backward` topologically sorts the graph
+and runs the closures once each.
+
+Only float64 arrays flow through the graph.  Broadcasting is supported on
+elementwise ops; gradients are un-broadcast (summed) back to parent shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "as_tensor"]
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` down to ``shape`` (reversing numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with a gradient and a backward closure.
+
+    Args:
+        data: Array-like; stored as float64.
+        requires_grad: Whether gradients should be accumulated into ``grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad=False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = ()
+        self._backward_fn = None
+
+    # -- graph construction ---------------------------------------------------
+
+    @classmethod
+    def _from_op(cls, data, parents, backward_fn):
+        out = cls(data)
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        out.requires_grad = any(p.requires_grad for p in parents)
+        if out.requires_grad:
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad):
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self):
+        """Total element count."""
+        return self.data.size
+
+    def item(self):
+        """Python float of a scalar tensor."""
+        return float(self.data)
+
+    def numpy(self):
+        """The raw array (shared, not copied)."""
+        return self.data
+
+    def detach(self):
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self):
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # -- backward pass ------------------------------------------------------
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor.
+
+        Args:
+            grad: Seed gradient; defaults to 1 and requires a scalar tensor.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+
+        # Topological order via iterative DFS (no recursion limits).
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # -- elementwise arithmetic ----------------------------------------------
+
+    def __add__(self, other):
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward_fn(grad):
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return Tensor._from_op(out_data, (self, other), backward_fn)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward_fn(grad):
+            self._accumulate(-grad)
+
+        return Tensor._from_op(-self.data, (self,), backward_fn)
+
+    def __sub__(self, other):
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other):
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward_fn(grad):
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return Tensor._from_op(out_data, (self, other), backward_fn)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward_fn(grad):
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        return Tensor._from_op(out_data, (self, other), backward_fn)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward_fn(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(out_data, (self,), backward_fn)
+
+    # -- linear algebra --------------------------------------------------------
+
+    def __matmul__(self, other):
+        other = as_tensor(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise ValueError(
+                f"matmul expects 2-D tensors, got {self.shape} @ {other.shape}"
+            )
+        out_data = self.data @ other.data
+
+        def backward_fn(grad):
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return Tensor._from_op(out_data, (self, other), backward_fn)
+
+    # -- shape manipulation ----------------------------------------------------
+
+    def reshape(self, *shape):
+        """Reshaped view with gradient routed back through the reshape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward_fn(grad):
+            self._accumulate(grad.reshape(original))
+
+        return Tensor._from_op(out_data, (self,), backward_fn)
+
+    def transpose(self):
+        """2-D transpose."""
+        if self.data.ndim != 2:
+            raise ValueError("transpose() supports 2-D tensors")
+
+        def backward_fn(grad):
+            self._accumulate(grad.T)
+
+        return Tensor._from_op(self.data.T, (self,), backward_fn)
+
+    def __getitem__(self, key):
+        out_data = self.data[key]
+
+        def backward_fn(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            self._accumulate(full)
+
+        return Tensor._from_op(out_data, (self,), backward_fn)
+
+    # -- reductions -----------------------------------------------------------
+
+    def sum(self, axis=None, keepdims=False):
+        """Summation with gradient broadcast back to the input shape."""
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward_fn(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, shape))
+
+        return Tensor._from_op(out_data, (self,), backward_fn)
+
+    def mean(self, axis=None, keepdims=False):
+        """Mean via sum with the appropriate scale."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # -- repr -------------------------------------------------------------------
+
+    def __repr__(self):
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self):
+        return len(self.data)
+
+
+class Parameter(Tensor):
+    """A trainable tensor — always requires gradients."""
+
+    __slots__ = ()
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+    def __repr__(self):
+        return f"Parameter(shape={self.shape})"
+
+
+def as_tensor(value):
+    """Coerce scalars / arrays to (non-differentiable) tensors."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

@@ -1,0 +1,220 @@
+"""Execution backends: exact statevector, shot-sampled, and noisy density matrix.
+
+A backend turns a symbolic :class:`~repro.quantum.circuit.QuantumCircuit`
+plus concrete ``inputs`` (batched feature vectors) and ``weights`` (trainable
+angles) into measurement expectation values.
+
+Three execution regimes are supported, mirroring how the paper's experiments
+and future-work axis are set up:
+
+- ``StatevectorBackend(shots=None)`` — exact expectations, the regime the
+  paper's torchquantum experiments run in;
+- ``StatevectorBackend(shots=k)`` — exact evolution, sampled measurement
+  (finite-shot estimation noise);
+- ``DensityMatrixBackend(noise_model=...)`` — Kraus noise after every gate,
+  modelling NISQ gate errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum import density as _dm
+from repro.quantum import gates as _gates
+from repro.quantum import statevector as _sv
+from repro.quantum.channels import NoiseModel
+from repro.quantum.observables import Hamiltonian, PauliString
+
+__all__ = ["StatevectorBackend", "DensityMatrixBackend"]
+
+# Basis-change gates mapping X/Y measurement onto the computational basis:
+# X = H Z H,  Y = (S^+ H)^+ ... applied as  rot Z rot^+  with rot below.
+_BASIS_ROTATIONS = {
+    "X": _gates.HADAMARD,
+    "Y": _gates.HADAMARD @ _gates.S_GATE.conj().T,
+}
+
+
+def _pauli_string_signs(pauli, n_qubits):
+    """Diagonal eigenvalues of the Z-basis version of a Pauli string."""
+    signs = np.ones(2**n_qubits)
+    indices = np.arange(2**n_qubits)
+    for wire in pauli.wires:
+        bit = (indices >> (n_qubits - 1 - wire)) & 1
+        signs *= 1.0 - 2.0 * bit
+    return signs
+
+
+def _rotate_to_z_basis_sv(psi, pauli, n_qubits):
+    """Apply basis rotations so every factor of ``pauli`` measures as Z."""
+    out = psi
+    for wire, p in pauli.terms.items():
+        rotation = _BASIS_ROTATIONS.get(p)
+        if rotation is not None:
+            out = _sv.apply_matrix(out, rotation, (wire,), n_qubits)
+    return out
+
+
+def _sample_mean_signs(probs, signs, shots, rng):
+    """Monte-Carlo estimate of ``sum_i p_i s_i`` from ``shots`` samples."""
+    probs = np.clip(probs, 0.0, None)
+    probs /= probs.sum(axis=1, keepdims=True)
+    batch, dim = probs.shape
+    out = np.empty(batch)
+    for b in range(batch):
+        drawn = rng.choice(dim, size=shots, p=probs[b])
+        out[b] = signs[drawn].mean()
+    return out
+
+
+def _normalise_run_args(circuit, inputs, batch_size):
+    if inputs is not None:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == 1:
+            inputs = inputs[None, :]
+        if inputs.shape[1] < circuit.n_inputs:
+            raise ValueError(
+                f"circuit needs {circuit.n_inputs} input features, "
+                f"got {inputs.shape[1]}"
+            )
+        return inputs, inputs.shape[0]
+    if circuit.n_inputs > 0:
+        raise ValueError("circuit references inputs but none were given")
+    return None, batch_size if batch_size is not None else 1
+
+
+class StatevectorBackend:
+    """Exact (optionally shot-sampled) pure-state execution.
+
+    Args:
+        shots: ``None`` for exact expectation values, otherwise the number of
+            measurement samples used to estimate each expectation.
+        rng: ``numpy.random.Generator`` used for shot sampling.
+    """
+
+    name = "statevector"
+    supports_adjoint = True
+
+    def __init__(self, shots=None, rng=None):
+        if shots is not None and shots < 1:
+            raise ValueError("shots must be None or >= 1")
+        self.shots = shots
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def evolve(self, circuit, inputs=None, weights=None, batch_size=None):
+        """Run the circuit, returning the final state batch ``(B, 2**n)``."""
+        inputs, batch = _normalise_run_args(circuit, inputs, batch_size)
+        psi = _sv.zero_state(circuit.n_qubits, batch)
+        for op in circuit.operations:
+            theta = circuit.resolve_angle(op, inputs, weights)
+            psi = _sv.apply_gate(psi, op.gate, op.wires, circuit.n_qubits, theta)
+        return psi
+
+    def run(self, circuit, observables, inputs=None, weights=None, batch_size=None):
+        """Expectation values, shape ``(B, n_observables)``."""
+        psi = self.evolve(circuit, inputs, weights, batch_size)
+        return self.measure(psi, observables, circuit.n_qubits)
+
+    def measure(self, psi, observables, n_qubits):
+        """Measure prepared states: exact or shot-estimated expectations."""
+        columns = []
+        for obs in observables:
+            columns.append(self._measure_one(psi, obs, n_qubits))
+        return np.stack(columns, axis=1)
+
+    def _measure_one(self, psi, obs, n_qubits):
+        if isinstance(obs, Hamiltonian):
+            total = np.zeros(psi.shape[0])
+            for j, pauli in enumerate(obs.paulis):
+                coeff = obs.coefficients[..., j]
+                total = total + coeff * self._measure_one(psi, pauli, n_qubits)
+            return total
+        if not isinstance(obs, PauliString):
+            raise TypeError(f"unsupported observable type {type(obs).__name__}")
+        if self.shots is None:
+            return obs.expectation(psi, n_qubits)
+        rotated = _rotate_to_z_basis_sv(psi, obs, n_qubits)
+        probs = _sv.probabilities(rotated)
+        signs = _pauli_string_signs(obs, n_qubits)
+        return _sample_mean_signs(probs, signs, self.shots, self.rng)
+
+    def probabilities(self, circuit, inputs=None, weights=None, batch_size=None):
+        """Computational-basis probabilities of the final state."""
+        psi = self.evolve(circuit, inputs, weights, batch_size)
+        return _sv.probabilities(psi)
+
+    def __repr__(self):
+        return f"StatevectorBackend(shots={self.shots})"
+
+
+class DensityMatrixBackend:
+    """Mixed-state execution with per-gate Kraus noise.
+
+    Args:
+        noise_model: :class:`~repro.quantum.channels.NoiseModel` applied
+            after every gate (default: noiseless).
+        shots: ``None`` for exact expectations, else sample count.
+        rng: Generator for shot sampling.
+    """
+
+    name = "density_matrix"
+    supports_adjoint = False
+
+    def __init__(self, noise_model=None, shots=None, rng=None):
+        if shots is not None and shots < 1:
+            raise ValueError("shots must be None or >= 1")
+        self.noise_model = noise_model if noise_model is not None else NoiseModel()
+        self.shots = shots
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def evolve(self, circuit, inputs=None, weights=None, batch_size=None):
+        """Run the circuit with noise, returning ``(B, 2**n, 2**n)`` states."""
+        inputs, batch = _normalise_run_args(circuit, inputs, batch_size)
+        rho = _dm.zero_density(circuit.n_qubits, batch)
+        for op in circuit.operations:
+            theta = circuit.resolve_angle(op, inputs, weights)
+            rho = _dm.apply_gate(rho, op.gate, op.wires, circuit.n_qubits, theta)
+            for channel, wire in self.noise_model.channels_after(op):
+                rho = _dm.apply_channel(rho, channel, (wire,), circuit.n_qubits)
+        return rho
+
+    def run(self, circuit, observables, inputs=None, weights=None, batch_size=None):
+        """Expectation values, shape ``(B, n_observables)``."""
+        rho = self.evolve(circuit, inputs, weights, batch_size)
+        return self.measure(rho, observables, circuit.n_qubits)
+
+    def measure(self, rho, observables, n_qubits):
+        """Measure prepared density matrices."""
+        columns = [self._measure_one(rho, obs, n_qubits) for obs in observables]
+        return np.stack(columns, axis=1)
+
+    def _measure_one(self, rho, obs, n_qubits):
+        if isinstance(obs, Hamiltonian):
+            total = np.zeros(rho.shape[0])
+            for j, pauli in enumerate(obs.paulis):
+                coeff = obs.coefficients[..., j]
+                total = total + coeff * self._measure_one(rho, pauli, n_qubits)
+            return total
+        if not isinstance(obs, PauliString):
+            raise TypeError(f"unsupported observable type {type(obs).__name__}")
+        if self.shots is None:
+            return _dm.expectation(rho, obs.matrix(n_qubits))
+        rotated = rho
+        for wire, p in obs.terms.items():
+            rotation = _BASIS_ROTATIONS.get(p)
+            if rotation is not None:
+                rotated = _dm.apply_matrix(rotated, rotation, (wire,), n_qubits)
+        probs = _dm.probabilities(rotated)
+        signs = _pauli_string_signs(obs, n_qubits)
+        return _sample_mean_signs(probs, signs, self.shots, self.rng)
+
+    def probabilities(self, circuit, inputs=None, weights=None, batch_size=None):
+        """Computational-basis probabilities of the final mixed state."""
+        rho = self.evolve(circuit, inputs, weights, batch_size)
+        return _dm.probabilities(rho)
+
+    def __repr__(self):
+        return (
+            f"DensityMatrixBackend(noise_model={self.noise_model!r}, "
+            f"shots={self.shots})"
+        )

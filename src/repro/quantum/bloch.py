@@ -1,0 +1,105 @@
+"""State analysis: partial traces, Bloch vectors and amplitude grids.
+
+Supports the paper's Fig. 4 demonstration, which renders the actor's
+4-qubit state as a 4x4 grid of complex amplitudes (magnitude + phase mapped
+to an HLS colour) and as per-qubit-pair reduced states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum import gates as _gates
+
+__all__ = [
+    "partial_trace",
+    "bloch_vector",
+    "all_bloch_vectors",
+    "amplitude_grid",
+    "magnitude_phase",
+]
+
+
+def partial_trace(psi, keep, n_qubits):
+    """Reduced density matrices over the ``keep`` wires for a state batch.
+
+    Args:
+        psi: ``(B, 2**n_qubits)`` statevector batch.
+        keep: Wires to keep, in the order they should appear in the output.
+        n_qubits: Total number of qubits.
+
+    Returns:
+        ``(B, 2**len(keep), 2**len(keep))`` density matrices.
+    """
+    keep = tuple(int(w) for w in keep)
+    if len(set(keep)) != len(keep):
+        raise ValueError(f"duplicate wires in {keep}")
+    for w in keep:
+        if not 0 <= w < n_qubits:
+            raise ValueError(f"wire {w} out of range for {n_qubits} qubits")
+    batch = psi.shape[0]
+    drop = [w for w in range(n_qubits) if w not in keep]
+
+    tensor = psi.reshape((batch,) + (2,) * n_qubits)
+    # Move kept axes first (after batch), dropped axes last.
+    order = [0] + [w + 1 for w in keep] + [w + 1 for w in drop]
+    tensor = np.transpose(tensor, order)
+    dim_keep = 2 ** len(keep)
+    dim_drop = 2 ** len(drop)
+    tensor = tensor.reshape(batch, dim_keep, dim_drop)
+    return np.einsum("bik,bjk->bij", tensor, np.conjugate(tensor))
+
+
+def bloch_vector(rho_1q):
+    """Bloch vectors ``(<X>, <Y>, <Z>)`` of single-qubit density matrices.
+
+    Args:
+        rho_1q: ``(B, 2, 2)`` batch of single-qubit states.
+
+    Returns:
+        ``(B, 3)`` real array; norm <= 1 with equality for pure states.
+    """
+    rho_1q = np.asarray(rho_1q)
+    if rho_1q.shape[-2:] != (2, 2):
+        raise ValueError(f"expected single-qubit states, got {rho_1q.shape}")
+    x = np.real(np.einsum("ij,bji->b", _gates.PAULI_X, rho_1q))
+    y = np.real(np.einsum("ij,bji->b", _gates.PAULI_Y, rho_1q))
+    z = np.real(np.einsum("ij,bji->b", _gates.PAULI_Z, rho_1q))
+    return np.stack([x, y, z], axis=1)
+
+
+def all_bloch_vectors(psi, n_qubits):
+    """Bloch vector of every qubit: shape ``(B, n_qubits, 3)``."""
+    vectors = []
+    for wire in range(n_qubits):
+        rho = partial_trace(psi, (wire,), n_qubits)
+        vectors.append(bloch_vector(rho))
+    return np.stack(vectors, axis=1)
+
+
+def amplitude_grid(psi, rows, cols):
+    """Reshape a statevector batch into ``(B, rows, cols)`` amplitude grids.
+
+    For the paper's 4-qubit actor, ``rows = cols = 4`` arranges the 16
+    amplitudes so the first two qubits index the row and the last two the
+    column — the layout of Fig. 4's heatmaps.
+    """
+    psi = np.asarray(psi)
+    if psi.ndim == 1:
+        psi = psi[None, :]
+    if rows * cols != psi.shape[-1]:
+        raise ValueError(
+            f"grid {rows}x{cols} incompatible with dim {psi.shape[-1]}"
+        )
+    return psi.reshape(psi.shape[0], rows, cols)
+
+
+def magnitude_phase(amplitudes):
+    """Split complex amplitudes into ``(magnitude, phase)`` arrays.
+
+    Phases are in ``[-pi, pi]``; the phase of a (near-)zero amplitude is 0.
+    """
+    amplitudes = np.asarray(amplitudes)
+    magnitude = np.abs(amplitudes)
+    phase = np.where(magnitude > 1e-12, np.angle(amplitudes), 0.0)
+    return magnitude, phase

@@ -1,0 +1,191 @@
+"""Quantum noise channels in Kraus form, and per-gate noise models.
+
+The paper's motivation for its compact state encoding is NISQ noise: gate
+errors accumulate with circuit width and depth, so a CTDE critic whose qubit
+count grows with the number of agents becomes untrainable.  This module
+provides the standard single-qubit error channels used to study that effect
+on the density-matrix backend, plus a :class:`NoiseModel` that attaches a
+channel after every gate (the standard "gate error" model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum import gates as _gates
+
+__all__ = [
+    "KrausChannel",
+    "depolarizing",
+    "bit_flip",
+    "phase_flip",
+    "bit_phase_flip",
+    "amplitude_damping",
+    "phase_damping",
+    "NoiseModel",
+]
+
+
+class KrausChannel:
+    """A completely-positive trace-preserving map ``rho -> sum_k K rho K^+``."""
+
+    def __init__(self, name, kraus_operators, atol=1e-10):
+        operators = [np.asarray(k, dtype=np.complex128) for k in kraus_operators]
+        if not operators:
+            raise ValueError("a channel needs at least one Kraus operator")
+        dim = operators[0].shape[0]
+        for k in operators:
+            if k.shape != (dim, dim):
+                raise ValueError("all Kraus operators must share a square shape")
+        completeness = sum(k.conj().T @ k for k in operators)
+        if not np.allclose(completeness, np.eye(dim), atol=atol):
+            raise ValueError(
+                f"channel {name!r} is not trace preserving: sum K^+K != I"
+            )
+        self.name = name
+        self.kraus_operators = operators
+        self.dim = dim
+
+    @property
+    def n_qubits(self):
+        """Number of qubits the channel acts on."""
+        return int(np.log2(self.dim))
+
+    def __repr__(self):
+        return (
+            f"KrausChannel({self.name!r}, n_kraus={len(self.kraus_operators)}, "
+            f"dim={self.dim})"
+        )
+
+
+def _probability(p):
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    return p
+
+
+def depolarizing(p):
+    """Single-qubit depolarising channel with error probability ``p``.
+
+    With probability ``p`` the qubit is replaced by the maximally mixed
+    state, implemented as uniform X/Y/Z errors of probability ``p/3`` each.
+    """
+    p = _probability(p)
+    return KrausChannel(
+        f"depolarizing({p})",
+        [
+            np.sqrt(1.0 - p) * _gates.I2,
+            np.sqrt(p / 3.0) * _gates.PAULI_X,
+            np.sqrt(p / 3.0) * _gates.PAULI_Y,
+            np.sqrt(p / 3.0) * _gates.PAULI_Z,
+        ],
+    )
+
+
+def bit_flip(p):
+    """X error with probability ``p``."""
+    p = _probability(p)
+    return KrausChannel(
+        f"bit_flip({p})",
+        [np.sqrt(1.0 - p) * _gates.I2, np.sqrt(p) * _gates.PAULI_X],
+    )
+
+
+def phase_flip(p):
+    """Z error with probability ``p``."""
+    p = _probability(p)
+    return KrausChannel(
+        f"phase_flip({p})",
+        [np.sqrt(1.0 - p) * _gates.I2, np.sqrt(p) * _gates.PAULI_Z],
+    )
+
+
+def bit_phase_flip(p):
+    """Y error with probability ``p``."""
+    p = _probability(p)
+    return KrausChannel(
+        f"bit_phase_flip({p})",
+        [np.sqrt(1.0 - p) * _gates.I2, np.sqrt(p) * _gates.PAULI_Y],
+    )
+
+
+def amplitude_damping(gamma):
+    """Energy relaxation (T1 decay) with damping rate ``gamma``."""
+    gamma = _probability(gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=np.complex128)
+    return KrausChannel(f"amplitude_damping({gamma})", [k0, k1])
+
+
+def phase_damping(gamma):
+    """Pure dephasing (T2) with rate ``gamma``."""
+    gamma = _probability(gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(gamma)]], dtype=np.complex128)
+    return KrausChannel(f"phase_damping({gamma})", [k0, k1])
+
+
+class NoiseModel:
+    """Attaches error channels to gate applications.
+
+    The default construction models uniform gate error: after every gate, a
+    single-qubit channel (built by ``channel_factory(p)``) is applied to each
+    wire the gate touched.  Two-qubit gates may use a (typically larger)
+    error probability, reflecting real NISQ calibration data.
+
+    Args:
+        single_qubit_error: Error probability after 1-qubit gates.
+        two_qubit_error: Error probability after multi-qubit gates
+            (defaults to ``10 *`` the single-qubit error, a common ratio on
+            superconducting hardware).
+        channel_factory: Callable ``p -> KrausChannel`` (default
+            :func:`depolarizing`).
+    """
+
+    def __init__(
+        self,
+        single_qubit_error=0.0,
+        two_qubit_error=None,
+        channel_factory=depolarizing,
+    ):
+        if two_qubit_error is None:
+            two_qubit_error = min(1.0, 10.0 * single_qubit_error)
+        self.single_qubit_error = _probability(single_qubit_error)
+        self.two_qubit_error = _probability(two_qubit_error)
+        self._factory = channel_factory
+        self._single_channel = (
+            channel_factory(self.single_qubit_error)
+            if self.single_qubit_error > 0
+            else None
+        )
+        self._two_channel = (
+            channel_factory(self.two_qubit_error)
+            if self.two_qubit_error > 0
+            else None
+        )
+
+    @property
+    def is_noiseless(self):
+        """True when no channel would ever be applied."""
+        return self._single_channel is None and self._two_channel is None
+
+    def channels_after(self, operation):
+        """Channels to apply after one circuit operation.
+
+        Returns a list of ``(channel, wire)`` pairs: one single-qubit channel
+        per touched wire, with the error rate chosen by gate arity.
+        """
+        if len(operation.wires) == 1:
+            channel = self._single_channel
+        else:
+            channel = self._two_channel
+        if channel is None:
+            return []
+        return [(channel, wire) for wire in operation.wires]
+
+    def __repr__(self):
+        return (
+            f"NoiseModel(single_qubit_error={self.single_qubit_error}, "
+            f"two_qubit_error={self.two_qubit_error})"
+        )

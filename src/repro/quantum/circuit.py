@@ -1,0 +1,267 @@
+"""Circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of gate operations whose angles
+reference one of three parameter sources:
+
+- ``input`` — a feature of the classical input vector (the paper's state
+  encoder ``U_enc``, green block of Fig. 1),
+- ``weight`` — a trainable variational parameter (the paper's ``U_var``,
+  blue block of Fig. 1),
+- ``fixed`` — a constant angle.
+
+The circuit itself is purely symbolic; executing it against concrete inputs
+and weights is the job of the backends in :mod:`repro.quantum.backends`, and
+differentiating it is the job of :mod:`repro.quantum.gradients`.  Keeping the
+IR symbolic lets one circuit serve simultaneously as the forward model, the
+adjoint-differentiation target and the parameter-shift target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quantum import gates as _gates
+
+__all__ = ["ParameterRef", "Operation", "QuantumCircuit"]
+
+
+@dataclass(frozen=True)
+class ParameterRef:
+    """Reference to where a gate angle comes from.
+
+    Attributes:
+        kind: ``"input"``, ``"weight"`` or ``"fixed"``.
+        index: Feature / weight index for input and weight kinds.
+        value: Constant angle for the fixed kind.
+        scale: Multiplier applied to the referenced value (used e.g. to map
+            normalised features onto rotation angles, ``theta = scale * x``).
+    """
+
+    kind: str
+    index: int = None
+    value: float = None
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in ("input", "weight", "fixed"):
+            raise ValueError(f"unknown parameter kind {self.kind!r}")
+        if self.kind in ("input", "weight"):
+            if self.index is None or self.index < 0:
+                raise ValueError(f"{self.kind} reference needs a non-negative index")
+        elif self.value is None:
+            raise ValueError("fixed reference needs a value")
+
+    @classmethod
+    def input(cls, index, scale=1.0):
+        """Angle taken from input feature ``index`` (times ``scale``)."""
+        return cls(kind="input", index=int(index), scale=float(scale))
+
+    @classmethod
+    def weight(cls, index, scale=1.0):
+        """Angle taken from trainable weight ``index`` (times ``scale``)."""
+        return cls(kind="weight", index=int(index), scale=float(scale))
+
+    @classmethod
+    def fixed(cls, value):
+        """Constant angle."""
+        return cls(kind="fixed", value=float(value))
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate application inside a circuit."""
+
+    gate: str
+    wires: tuple
+    param: ParameterRef = None
+
+    def __post_init__(self):
+        spec = _gates.get_gate_spec(self.gate)
+        object.__setattr__(self, "wires", tuple(int(w) for w in self.wires))
+        if len(self.wires) != spec.n_qubits:
+            raise ValueError(
+                f"gate {self.gate!r} needs {spec.n_qubits} wires, got {self.wires}"
+            )
+        if spec.n_params == 1 and self.param is None:
+            raise ValueError(f"gate {self.gate!r} requires a parameter")
+        if spec.n_params == 0 and self.param is not None:
+            raise ValueError(f"gate {self.gate!r} takes no parameter")
+
+    @property
+    def spec(self):
+        """The :class:`~repro.quantum.gates.GateSpec` for this operation."""
+        return _gates.get_gate_spec(self.gate)
+
+    @property
+    def is_parameterised(self):
+        """True when the gate has a (symbolic) angle."""
+        return self.param is not None
+
+    @property
+    def is_trainable(self):
+        """True when the angle references a trainable weight."""
+        return self.param is not None and self.param.kind == "weight"
+
+    @property
+    def is_input(self):
+        """True when the angle references an input feature."""
+        return self.param is not None and self.param.kind == "input"
+
+
+class QuantumCircuit:
+    """An ordered sequence of operations on ``n_qubits`` wires.
+
+    Example — the paper's 4-qubit actor circuit skeleton::
+
+        circuit = QuantumCircuit(4)
+        for w in range(4):
+            circuit.add("rx", (w,), ParameterRef.input(w, scale=np.pi))
+        circuit.add("ry", (0,), ParameterRef.weight(0))
+        circuit.add("cnot", (0, 1))
+    """
+
+    def __init__(self, n_qubits):
+        if n_qubits < 1:
+            raise ValueError("n_qubits must be >= 1")
+        self.n_qubits = int(n_qubits)
+        self.operations = []
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, gate, wires, param=None):
+        """Append one operation; returns ``self`` for chaining."""
+        op = Operation(gate=gate, wires=tuple(wires), param=param)
+        for w in op.wires:
+            if not 0 <= w < self.n_qubits:
+                raise ValueError(f"wire {w} out of range for {self.n_qubits} qubits")
+        self.operations.append(op)
+        return self
+
+    def extend(self, other):
+        """Append all operations of another circuit; returns ``self``."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"cannot extend a {self.n_qubits}-qubit circuit with a "
+                f"{other.n_qubits}-qubit circuit"
+            )
+        for op in other.operations:
+            self.operations.append(op)
+        return self
+
+    def copy(self):
+        """Shallow copy (operations are immutable, so this is safe)."""
+        dup = QuantumCircuit(self.n_qubits)
+        dup.operations = list(self.operations)
+        return dup
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_operations(self):
+        """Total number of gate applications."""
+        return len(self.operations)
+
+    @property
+    def n_inputs(self):
+        """Number of distinct input features referenced (max index + 1)."""
+        indices = [op.param.index for op in self.operations if op.is_input]
+        return max(indices) + 1 if indices else 0
+
+    @property
+    def n_weights(self):
+        """Number of distinct trainable weights referenced (max index + 1)."""
+        indices = [op.param.index for op in self.operations if op.is_trainable]
+        return max(indices) + 1 if indices else 0
+
+    @property
+    def trainable_operations(self):
+        """Operations whose angle references a trainable weight."""
+        return [op for op in self.operations if op.is_trainable]
+
+    def gate_counts(self):
+        """Histogram of gate names, e.g. ``{"rx": 12, "cnot": 3}``."""
+        counts = {}
+        for op in self.operations:
+            counts[op.gate] = counts.get(op.gate, 0) + 1
+        return counts
+
+    def validate(self):
+        """Check internal consistency; raises ``ValueError`` on problems.
+
+        Verifies that weight indices are contiguous starting at 0 so a dense
+        weight vector can drive the circuit with no dead entries.
+        """
+        weight_indices = {
+            op.param.index for op in self.operations if op.is_trainable
+        }
+        if weight_indices and weight_indices != set(range(len(weight_indices))):
+            raise ValueError(
+                f"weight indices are not contiguous from 0: {sorted(weight_indices)}"
+            )
+        return self
+
+    # -- angle resolution ----------------------------------------------------
+
+    def resolve_angle(self, op, inputs=None, weights=None):
+        """Concrete angle for one operation.
+
+        Args:
+            op: The operation (must belong to this circuit's gate set).
+            inputs: ``(B, n_inputs)`` feature batch, required when any
+                operation references an input.
+            weights: ``(n_weights,)`` trainable vector shared across the
+                batch, or ``(B, n_weights)`` per-sample weights (used to
+                evaluate an *ensemble* of same-structure circuits — e.g. all
+                agents' actors — in one batched call).
+
+        Returns:
+            ``None`` for fixed gates, a scalar for weight/fixed angles, or a
+            ``(B,)`` array for input-encoded or per-sample-weight angles.
+        """
+        if op.param is None:
+            return None
+        ref = op.param
+        if ref.kind == "fixed":
+            return ref.value * ref.scale
+        if ref.kind == "weight":
+            if weights is None:
+                raise ValueError("circuit references weights but none were given")
+            weights = np.asarray(weights)
+            if weights.ndim == 2:
+                return weights[:, ref.index] * ref.scale
+            return float(weights[ref.index]) * ref.scale
+        if inputs is None:
+            raise ValueError("circuit references inputs but none were given")
+        return np.asarray(inputs)[:, ref.index] * ref.scale
+
+    # -- rendering -----------------------------------------------------------
+
+    def draw(self, max_ops=None):
+        """Compact text rendering, one operation per line."""
+        lines = [f"QuantumCircuit({self.n_qubits} qubits, {self.n_operations} ops)"]
+        ops = self.operations if max_ops is None else self.operations[:max_ops]
+        for i, op in enumerate(ops):
+            wires = ",".join(str(w) for w in op.wires)
+            if op.param is None:
+                angle = ""
+            elif op.param.kind == "fixed":
+                angle = f"({op.param.value:.4g})"
+            else:
+                prefix = "x" if op.param.kind == "input" else "w"
+                scale = (
+                    "" if op.param.scale == 1.0 else f"*{op.param.scale:.4g}"
+                )
+                angle = f"({prefix}[{op.param.index}]{scale})"
+            lines.append(f"  {i:3d}: {op.gate}{angle} @ [{wires}]")
+        if max_ops is not None and self.n_operations > max_ops:
+            lines.append(f"  ... {self.n_operations - max_ops} more")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"QuantumCircuit(n_qubits={self.n_qubits}, "
+            f"n_ops={self.n_operations}, n_inputs={self.n_inputs}, "
+            f"n_weights={self.n_weights})"
+        )

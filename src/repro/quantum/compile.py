@@ -1,0 +1,156 @@
+"""Circuit compilation: cache the variational block as one unitary.
+
+During decentralised execution (and between gradient updates during
+training) a VQC's *variational* gates are frozen — only the data-encoding
+gates change per input.  Rollouts therefore re-simulate 50 identical gates
+for every observation.  This module splits a circuit at the last
+input-dependent operation, compiles everything after it into a single
+``2**n x 2**n`` unitary (by evolving the identity basis batch once), and
+caches that unitary keyed on the weight values.  Executing the circuit then
+costs one encoding pass plus one small matmul.
+
+The compiled path is numerically identical to gate-by-gate simulation (it
+is the same linear map, just associatively regrouped) and is validated
+against the uncompiled backend in the test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.quantum import statevector as _sv
+from repro.quantum.backends import StatevectorBackend, _normalise_run_args
+
+__all__ = ["split_index", "CompiledCircuit"]
+
+
+def split_index(circuit):
+    """Index of the first operation after the last input-dependent one.
+
+    Everything from this index on depends only on weights and constants and
+    can be compiled into a fixed unitary for given weight values.
+    """
+    last_input = -1
+    for i, op in enumerate(circuit.operations):
+        if op.is_input:
+            last_input = i
+    return last_input + 1
+
+
+def _weights_key(weights):
+    """Content hash of a weight array (weights mutate in place under Adam)."""
+    if weights is None:
+        return "none"
+    array = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
+    return hashlib.blake2b(array.tobytes(), digest_size=16).hexdigest()
+
+
+class CompiledCircuit:
+    """A circuit with its weight-only suffix compiled and cached.
+
+    Args:
+        circuit: The symbolic circuit (validated on construction).
+        observables: Default measurement set for :meth:`run`.
+
+    The suffix unitary is recomputed automatically whenever the weight
+    *values* change (detected by content hash), so the object can be held
+    across training updates.  Supports per-sample weight matrices
+    ``(N, n_weights)`` for ensemble evaluation — the cache then holds ``N``
+    stacked unitaries.
+    """
+
+    def __init__(self, circuit, observables=None):
+        circuit.validate()
+        self.circuit = circuit
+        self.observables = list(observables) if observables is not None else None
+        self.split = split_index(circuit)
+        self._prefix = circuit.operations[: self.split]
+        self._suffix = circuit.operations[self.split :]
+        self._cache_key = None
+        self._cached_unitary = None
+        self._backend = StatevectorBackend()
+
+    @property
+    def n_compiled_operations(self):
+        """Gate count folded into the cached unitary."""
+        return len(self._suffix)
+
+    def suffix_unitary(self, weights):
+        """The unitary of the weight-only block (cached by weight content).
+
+        Returns ``(dim, dim)`` for a weight vector, or ``(N, dim, dim)`` for
+        an ``(N, n_weights)`` weight matrix.
+        """
+        key = _weights_key(weights)
+        if key == self._cache_key:
+            return self._cached_unitary
+        n = self.circuit.n_qubits
+        dim = 2**n
+        weights_arr = None if weights is None else np.asarray(weights)
+
+        if weights_arr is not None and weights_arr.ndim == 2:
+            n_sets = weights_arr.shape[0]
+            basis = np.tile(np.eye(dim, dtype=np.complex128), (n_sets, 1))
+            expanded = np.repeat(weights_arr, dim, axis=0)
+            psi = self._evolve_suffix(basis, expanded)
+            # Row b of each block is U|b>, so each block is U^T.
+            unitary = psi.reshape(n_sets, dim, dim).transpose(0, 2, 1)
+        else:
+            basis = np.eye(dim, dtype=np.complex128)
+            psi = self._evolve_suffix(basis, weights_arr)
+            unitary = psi.T
+
+        self._cache_key = key
+        self._cached_unitary = unitary
+        return unitary
+
+    def _evolve_suffix(self, psi, weights):
+        n = self.circuit.n_qubits
+        for op in self._suffix:
+            theta = self.circuit.resolve_angle(op, None, weights)
+            psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
+        return psi
+
+    def evolve(self, inputs=None, weights=None, batch_size=None):
+        """Final states: encoding pass + one cached-unitary matmul.
+
+        With 2-D weights ``(N, n_weights)``, the input batch must also have
+        ``N`` rows (sample ``i`` uses weight row ``i``) — the ensemble
+        evaluation used for team rollouts.
+        """
+        inputs_arr, batch = _normalise_run_args(self.circuit, inputs, batch_size)
+        n = self.circuit.n_qubits
+        psi = _sv.zero_state(n, batch)
+        for op in self._prefix:
+            theta = self.circuit.resolve_angle(op, inputs_arr, weights)
+            psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
+
+        unitary = self.suffix_unitary(weights)
+        if unitary.ndim == 3:
+            if unitary.shape[0] != batch:
+                raise ValueError(
+                    f"{unitary.shape[0]} weight rows for batch {batch}"
+                )
+            return np.einsum("bij,bj->bi", unitary, psi)
+        return psi @ unitary.T
+
+    def run(self, inputs=None, weights=None, observables=None, batch_size=None):
+        """Expectation values ``(B, n_observables)`` via the compiled path."""
+        observables = observables if observables is not None else self.observables
+        if observables is None:
+            raise ValueError("no observables given and no default set")
+        psi = self.evolve(inputs, weights, batch_size)
+        return self._backend.measure(psi, observables, self.circuit.n_qubits)
+
+    def invalidate(self):
+        """Drop the cached unitary (normally unnecessary — keys are content hashes)."""
+        self._cache_key = None
+        self._cached_unitary = None
+
+    def __repr__(self):
+        return (
+            f"CompiledCircuit(n_qubits={self.circuit.n_qubits}, "
+            f"prefix={self.split} ops, compiled={self.n_compiled_operations} ops)"
+        )

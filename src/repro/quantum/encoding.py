@@ -1,0 +1,128 @@
+"""Classical-to-quantum state encoders (the paper's ``U_enc`` block).
+
+The paper's key scalability device is *multi-layer angle encoding*: instead
+of one qubit per feature (which would make the centralised critic's qubit
+count grow linearly with the number of agents, amplifying NISQ gate error),
+features are folded onto a fixed qubit register by stacking rotation layers
+whose axis cycles X -> Y -> Z -> X ... (Fig. 1).  With 4 qubits and 4 layers
+this encodes the 16-dimensional joint state of N=4 agents — the
+``n_qubit * n_agent / 4`` annotation of Fig. 2.
+
+Encoders append operations referencing *input* features and return the
+number of features consumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import ParameterRef
+
+__all__ = [
+    "AngleEncoding",
+    "MultiLayerAngleEncoding",
+    "DataReuploadingEncoding",
+]
+
+_AXIS_CYCLE = ("rx", "ry", "rz")
+
+
+class AngleEncoding:
+    """One feature per qubit, encoded as a single-axis rotation.
+
+    The naive encoder: register width must equal the feature count, which is
+    exactly the scaling problem the paper's multi-layer encoder avoids.
+    """
+
+    def __init__(self, n_qubits, rotation="rx", scale=np.pi):
+        if rotation not in _AXIS_CYCLE:
+            raise ValueError(f"rotation must be one of {_AXIS_CYCLE}")
+        self.n_qubits = n_qubits
+        self.rotation = rotation
+        self.scale = float(scale)
+
+    @property
+    def n_features(self):
+        """Features consumed by this encoder."""
+        return self.n_qubits
+
+    def apply(self, circuit, feature_offset=0):
+        """Append encoding rotations; returns the next free feature index."""
+        index = feature_offset
+        for wire in range(self.n_qubits):
+            circuit.add(
+                self.rotation, (wire,), ParameterRef.input(index, self.scale)
+            )
+            index += 1
+        return index
+
+
+class MultiLayerAngleEncoding:
+    """The paper's Fig. 1 encoder: stacked rotation layers with cycling axes.
+
+    Layer ``l`` applies ``R_axis(scale * x[l*n_qubits + q])`` on qubit ``q``
+    with ``axis`` cycling through X, Y, Z, X, ...  Encodes ``n_features``
+    features on ``n_qubits`` qubits using ``ceil(n_features / n_qubits)``
+    layers; the final layer may be partial when the feature count is not a
+    multiple of the register width.
+
+    Args:
+        n_qubits: Register width.
+        n_features: Total features to encode (positive).
+        scale: Angle scale per feature (features are assumed normalised to
+            [0, 1] by the environment; the default ``pi`` maps them onto a
+            half rotation).
+    """
+
+    def __init__(self, n_qubits, n_features, scale=np.pi):
+        if n_features < 1:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_qubits = n_qubits
+        self.n_features = n_features
+        self.n_layers = -(-n_features // n_qubits)  # ceiling division
+        self.scale = float(scale)
+
+    def apply(self, circuit, feature_offset=0):
+        """Append encoding layers; returns the next free feature index."""
+        index = feature_offset
+        for feature in range(self.n_features):
+            layer, wire = divmod(feature, self.n_qubits)
+            rotation = _AXIS_CYCLE[layer % len(_AXIS_CYCLE)]
+            circuit.add(rotation, (wire,), ParameterRef.input(index, self.scale))
+            index += 1
+        return index
+
+
+class DataReuploadingEncoding:
+    """Re-uploading encoder: repeats an inner encoder before each variational block.
+
+    An extension beyond the paper (Perez-Salinas et al. 2020): interleaving
+    encoding and variational layers increases the expressible frequency
+    spectrum of the circuit without adding qubits.  Used in the ansatz
+    ablation.
+
+    Args:
+        inner: Any encoder with ``apply``/``n_features``.
+        n_repeats: How many times the same features are re-uploaded.
+    """
+
+    def __init__(self, inner, n_repeats):
+        if n_repeats < 1:
+            raise ValueError("n_repeats must be >= 1")
+        self.inner = inner
+        self.n_repeats = n_repeats
+        self.n_qubits = inner.n_qubits
+
+    @property
+    def n_features(self):
+        """Features consumed (the same block is re-used every repeat)."""
+        return self.inner.n_features
+
+    def apply(self, circuit, feature_offset=0):
+        """Append one upload block; returns the next free feature index.
+
+        Call once per variational block when assembling a re-uploading
+        circuit; every call re-encodes the *same* feature range.
+        """
+        self.inner.apply(circuit, feature_offset)
+        return feature_offset + self.inner.n_features

@@ -1,0 +1,304 @@
+"""Quantum gate algebra.
+
+This module defines the gate set used throughout the quantum substrate:
+
+- fixed (non-parameterised) gates as constant unitary matrices,
+- parameterised rotation gates ``U(theta) = exp(-i * theta / 2 * G)`` built
+  from a Hermitian *generator* ``G``,
+- a :class:`GateSpec` registry mapping gate names to matrix builders,
+  generators, qubit arity and differentiation metadata.
+
+All matrices use the computational-basis convention with qubit 0 as the
+most-significant bit, matching :mod:`repro.quantum.statevector`.
+
+Parameterised gates are *batched*: passing an angle array of shape ``(B,)``
+returns a stacked matrix of shape ``(B, dim, dim)``.  Scalar angles return a
+plain ``(dim, dim)`` matrix.  This is what lets the simulator evaluate a
+circuit on a whole batch of differently-encoded inputs in one numpy call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "I2",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "S_GATE",
+    "T_GATE",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "TOFFOLI",
+    "rx",
+    "ry",
+    "rz",
+    "phase_shift",
+    "crx",
+    "cry",
+    "crz",
+    "rot",
+    "controlled",
+    "GateSpec",
+    "GATE_REGISTRY",
+    "get_gate_spec",
+    "is_unitary",
+]
+
+# ---------------------------------------------------------------------------
+# Fixed gates
+# ---------------------------------------------------------------------------
+
+I2 = np.eye(2, dtype=np.complex128)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2.0)
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+T_GATE = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=np.complex128,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=np.complex128,
+)
+TOFFOLI = np.eye(8, dtype=np.complex128)
+TOFFOLI[[6, 7], [6, 7]] = 0
+TOFFOLI[6, 7] = 1
+TOFFOLI[7, 6] = 1
+
+
+def _as_angle_array(theta):
+    """Return ``(theta, batched)`` with ``theta`` as a float64 ndarray."""
+    arr = np.asarray(theta, dtype=np.float64)
+    if arr.ndim > 1:
+        raise ValueError(f"gate angles must be scalar or 1-D, got shape {arr.shape}")
+    return arr, arr.ndim == 1
+
+
+def _stack_2x2(a, b, c, d, batched):
+    """Assemble a (possibly batched) 2x2 complex matrix from entries."""
+    if batched:
+        out = np.empty(a.shape + (2, 2), dtype=np.complex128)
+    else:
+        out = np.empty((2, 2), dtype=np.complex128)
+    out[..., 0, 0] = a
+    out[..., 0, 1] = b
+    out[..., 1, 0] = c
+    out[..., 1, 1] = d
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parameterised single-qubit rotations
+# ---------------------------------------------------------------------------
+
+
+def rx(theta):
+    """Rotation around X: ``exp(-i * theta / 2 * X)``."""
+    theta, batched = _as_angle_array(theta)
+    c = np.cos(theta / 2.0)
+    s = -1j * np.sin(theta / 2.0)
+    return _stack_2x2(c, s, s, c, batched)
+
+
+def ry(theta):
+    """Rotation around Y: ``exp(-i * theta / 2 * Y)``."""
+    theta, batched = _as_angle_array(theta)
+    c = np.cos(theta / 2.0)
+    s = np.sin(theta / 2.0)
+    return _stack_2x2(c, -s, s, c, batched)
+
+
+def rz(theta):
+    """Rotation around Z: ``exp(-i * theta / 2 * Z)``."""
+    theta, batched = _as_angle_array(theta)
+    e_minus = np.exp(-1j * theta / 2.0)
+    e_plus = np.exp(1j * theta / 2.0)
+    zeros = np.zeros_like(e_minus)
+    return _stack_2x2(e_minus, zeros, zeros, e_plus, batched)
+
+
+def phase_shift(theta):
+    """Phase-shift gate ``diag(1, exp(i*theta))``."""
+    theta, batched = _as_angle_array(theta)
+    ones = np.ones_like(theta, dtype=np.complex128)
+    zeros = np.zeros_like(ones)
+    return _stack_2x2(ones, zeros, zeros, np.exp(1j * theta), batched)
+
+
+def rot(phi, theta, omega):
+    """General single-qubit rotation ``RZ(omega) @ RY(theta) @ RZ(phi)``."""
+    return rz(omega) @ ry(theta) @ rz(phi)
+
+
+# ---------------------------------------------------------------------------
+# Controlled rotations
+# ---------------------------------------------------------------------------
+
+
+def controlled(matrix):
+    """Lift a (possibly batched) single-qubit gate to its controlled 4x4 form.
+
+    The control is the first (most-significant) of the two qubits.
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    batch_shape = matrix.shape[:-2]
+    out = np.zeros(batch_shape + (4, 4), dtype=np.complex128)
+    out[..., 0, 0] = 1.0
+    out[..., 1, 1] = 1.0
+    out[..., 2:, 2:] = matrix
+    return out
+
+
+def crx(theta):
+    """Controlled-RX rotation."""
+    return controlled(rx(theta))
+
+
+def cry(theta):
+    """Controlled-RY rotation."""
+    return controlled(ry(theta))
+
+
+def crz(theta):
+    """Controlled-RZ rotation."""
+    return controlled(rz(theta))
+
+
+# ---------------------------------------------------------------------------
+# Generators (for adjoint differentiation and parameter-shift metadata)
+# ---------------------------------------------------------------------------
+
+_P1 = np.array([[0, 0], [0, 1]], dtype=np.complex128)  # |1><1| projector
+
+
+def _controlled_generator(pauli):
+    """Generator of a controlled rotation: ``|1><1| (x) P``."""
+    return np.kron(_P1, pauli)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of one gate type.
+
+    Attributes:
+        name: Registry key, lower-case (e.g. ``"rx"``).
+        n_qubits: Number of wires the gate acts on.
+        n_params: 0 for fixed gates, 1 for single-angle rotations.
+        matrix_fn: Builder ``fn(theta) -> matrix`` for parameterised gates,
+            or ``None`` for fixed gates.
+        fixed_matrix: Constant matrix for non-parameterised gates.
+        generator: Hermitian ``G`` with ``U(theta) = exp(-i*theta/2*G)``;
+            ``None`` for fixed gates.
+        shift_rule: ``"two_term"`` when ``G^2 = I`` (Pauli rotations),
+            ``"four_term"`` for controlled rotations, ``None`` otherwise.
+    """
+
+    name: str
+    n_qubits: int
+    n_params: int
+    matrix_fn: object = None
+    fixed_matrix: np.ndarray = None
+    generator: np.ndarray = None
+    shift_rule: str = None
+    self_inverse: bool = field(default=False)
+
+    def matrix(self, theta=None):
+        """Return the (possibly batched) unitary for this gate."""
+        if self.n_params == 0:
+            if theta is not None:
+                raise ValueError(f"gate {self.name!r} takes no parameter")
+            return self.fixed_matrix
+        if theta is None:
+            raise ValueError(f"gate {self.name!r} requires a parameter")
+        return self.matrix_fn(theta)
+
+    @property
+    def dim(self):
+        """Hilbert-space dimension the gate matrix acts on."""
+        return 2**self.n_qubits
+
+
+def _fixed(name, matrix, n_qubits, self_inverse=False):
+    return GateSpec(
+        name=name,
+        n_qubits=n_qubits,
+        n_params=0,
+        fixed_matrix=matrix,
+        self_inverse=self_inverse,
+    )
+
+
+def _rotation(name, matrix_fn, generator, n_qubits, shift_rule):
+    return GateSpec(
+        name=name,
+        n_qubits=n_qubits,
+        n_params=1,
+        matrix_fn=matrix_fn,
+        generator=generator,
+        shift_rule=shift_rule,
+    )
+
+
+GATE_REGISTRY = {
+    "i": _fixed("i", I2, 1, self_inverse=True),
+    "x": _fixed("x", PAULI_X, 1, self_inverse=True),
+    "y": _fixed("y", PAULI_Y, 1, self_inverse=True),
+    "z": _fixed("z", PAULI_Z, 1, self_inverse=True),
+    "h": _fixed("h", HADAMARD, 1, self_inverse=True),
+    "s": _fixed("s", S_GATE, 1),
+    "t": _fixed("t", T_GATE, 1),
+    "cnot": _fixed("cnot", CNOT, 2, self_inverse=True),
+    "cz": _fixed("cz", CZ, 2, self_inverse=True),
+    "swap": _fixed("swap", SWAP, 2, self_inverse=True),
+    "toffoli": _fixed("toffoli", TOFFOLI, 3, self_inverse=True),
+    "rx": _rotation("rx", rx, PAULI_X, 1, "two_term"),
+    "ry": _rotation("ry", ry, PAULI_Y, 1, "two_term"),
+    "rz": _rotation("rz", rz, PAULI_Z, 1, "two_term"),
+    "crx": _rotation("crx", crx, _controlled_generator(PAULI_X), 2, "four_term"),
+    "cry": _rotation("cry", cry, _controlled_generator(PAULI_Y), 2, "four_term"),
+    "crz": _rotation("crz", crz, _controlled_generator(PAULI_Z), 2, "four_term"),
+}
+
+
+def get_gate_spec(name):
+    """Look up a :class:`GateSpec` by (case-insensitive) name."""
+    try:
+        return GATE_REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(GATE_REGISTRY))
+        raise KeyError(f"unknown gate {name!r}; known gates: {known}") from None
+
+
+def is_unitary(matrix, atol=1e-10):
+    """Check whether ``matrix`` (or each matrix of a batch) is unitary."""
+    matrix = np.asarray(matrix)
+    dim = matrix.shape[-1]
+    eye = np.eye(dim, dtype=np.complex128)
+    product = matrix @ np.conjugate(np.swapaxes(matrix, -1, -2))
+    return bool(np.all(np.abs(product - eye) < atol))

@@ -1,0 +1,179 @@
+"""Variational ansatz templates (the paper's ``U_var`` block).
+
+The paper parameterises its actors and critic with torchquantum-style
+*random layers*: a fixed, seeded random sequence of parameterised rotation
+gates — exactly 50 of them in Table II, which is also the trainable-parameter
+budget shared by the classical baselines.  Two structured alternatives
+(basic entangler and strongly-entangling layers) are provided for the
+ansatz ablation.
+
+Every template appends operations to an existing
+:class:`~repro.quantum.circuit.QuantumCircuit`, allocating weight indices
+sequentially from ``weight_offset``, and returns the next free weight index:
+
+    offset = encoder.apply(circuit)
+    n_weights = template.apply(circuit, weight_offset=0)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import ParameterRef
+
+__all__ = [
+    "RandomLayerTemplate",
+    "BasicEntanglerTemplate",
+    "StronglyEntanglingTemplate",
+]
+
+_DEFAULT_POOL = ("rx", "ry", "rz", "crx", "cry", "crz")
+_SINGLE_QUBIT = {"rx", "ry", "rz"}
+
+
+class RandomLayerTemplate:
+    """Seeded random sequence of parameterised gates (torchquantum-style).
+
+    Args:
+        n_qubits: Circuit width.
+        n_gates: Number of gates — equals the number of trainable weights,
+            since every sampled gate carries one angle (Table II uses 50).
+        seed: Seed for the gate/wire sampling, making the ansatz reproducible.
+        gate_pool: Gate names to sample from (all must be 1-parameter gates).
+        two_qubit_ratio: Target fraction of entangling gates; the sampler
+            draws gate kinds i.i.d. with this probability mass on the
+            two-qubit portion of the pool.
+    """
+
+    def __init__(
+        self,
+        n_qubits,
+        n_gates,
+        seed=0,
+        gate_pool=_DEFAULT_POOL,
+        two_qubit_ratio=0.25,
+    ):
+        if n_gates < 1:
+            raise ValueError("n_gates must be >= 1")
+        if n_qubits < 1:
+            raise ValueError("n_qubits must be >= 1")
+        single = [g for g in gate_pool if g in _SINGLE_QUBIT]
+        double = [g for g in gate_pool if g not in _SINGLE_QUBIT]
+        if not single:
+            raise ValueError("gate pool needs at least one single-qubit gate")
+        if n_qubits == 1 and double:
+            double = []
+        if not 0.0 <= two_qubit_ratio <= 1.0:
+            raise ValueError("two_qubit_ratio must be in [0, 1]")
+        self.n_qubits = n_qubits
+        self.n_gates = n_gates
+        self.seed = seed
+        self._single_pool = single
+        self._double_pool = double
+        self.two_qubit_ratio = two_qubit_ratio if double else 0.0
+
+    @property
+    def n_weights(self):
+        """Trainable weights introduced by this template."""
+        return self.n_gates
+
+    def apply(self, circuit, weight_offset=0):
+        """Append the sampled gates to ``circuit``; returns next weight index."""
+        if circuit.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"template built for {self.n_qubits} qubits, "
+                f"circuit has {circuit.n_qubits}"
+            )
+        rng = np.random.default_rng(self.seed)
+        index = weight_offset
+        for _ in range(self.n_gates):
+            use_double = (
+                self._double_pool and rng.random() < self.two_qubit_ratio
+            )
+            if use_double:
+                gate = self._double_pool[rng.integers(len(self._double_pool))]
+                wires = tuple(
+                    rng.choice(self.n_qubits, size=2, replace=False).tolist()
+                )
+            else:
+                gate = self._single_pool[rng.integers(len(self._single_pool))]
+                wires = (int(rng.integers(self.n_qubits)),)
+            circuit.add(gate, wires, ParameterRef.weight(index))
+            index += 1
+        return index
+
+    def initial_weights(self, rng):
+        """Uniform ``[0, 2*pi)`` initial angles, matching torchquantum."""
+        return rng.uniform(0.0, 2.0 * np.pi, size=self.n_weights)
+
+
+class BasicEntanglerTemplate:
+    """Layers of single-axis rotations followed by a CNOT ring.
+
+    ``n_weights = n_layers * n_qubits`` (one angle per qubit per layer).
+    """
+
+    def __init__(self, n_qubits, n_layers, rotation="rx"):
+        if rotation not in _SINGLE_QUBIT:
+            raise ValueError(f"rotation must be one of {_SINGLE_QUBIT}")
+        self.n_qubits = n_qubits
+        self.n_layers = n_layers
+        self.rotation = rotation
+
+    @property
+    def n_weights(self):
+        """Trainable weights introduced by this template."""
+        return self.n_layers * self.n_qubits
+
+    def apply(self, circuit, weight_offset=0):
+        """Append the layers to ``circuit``; returns next weight index."""
+        index = weight_offset
+        for _ in range(self.n_layers):
+            for wire in range(self.n_qubits):
+                circuit.add(self.rotation, (wire,), ParameterRef.weight(index))
+                index += 1
+            if self.n_qubits > 1:
+                for wire in range(self.n_qubits):
+                    circuit.add("cnot", (wire, (wire + 1) % self.n_qubits))
+        return index
+
+    def initial_weights(self, rng):
+        """Uniform ``[0, 2*pi)`` initial angles."""
+        return rng.uniform(0.0, 2.0 * np.pi, size=self.n_weights)
+
+
+class StronglyEntanglingTemplate:
+    """PennyLane-style strongly entangling layers.
+
+    Each layer applies a full ``RZ-RY-RZ`` Euler rotation per qubit (three
+    angles) followed by a ring of CNOTs with a layer-dependent range.
+    ``n_weights = n_layers * n_qubits * 3``.
+    """
+
+    def __init__(self, n_qubits, n_layers):
+        self.n_qubits = n_qubits
+        self.n_layers = n_layers
+
+    @property
+    def n_weights(self):
+        """Trainable weights introduced by this template."""
+        return self.n_layers * self.n_qubits * 3
+
+    def apply(self, circuit, weight_offset=0):
+        """Append the layers to ``circuit``; returns next weight index."""
+        index = weight_offset
+        for layer in range(self.n_layers):
+            for wire in range(self.n_qubits):
+                circuit.add("rz", (wire,), ParameterRef.weight(index))
+                circuit.add("ry", (wire,), ParameterRef.weight(index + 1))
+                circuit.add("rz", (wire,), ParameterRef.weight(index + 2))
+                index += 3
+            if self.n_qubits > 1:
+                hop = (layer % (self.n_qubits - 1)) + 1
+                for wire in range(self.n_qubits):
+                    circuit.add("cnot", (wire, (wire + hop) % self.n_qubits))
+        return index
+
+    def initial_weights(self, rng):
+        """Uniform ``[0, 2*pi)`` initial angles."""
+        return rng.uniform(0.0, 2.0 * np.pi, size=self.n_weights)

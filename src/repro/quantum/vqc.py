@@ -1,0 +1,158 @@
+"""Assembled variational quantum circuits (encoder + ansatz + measurement).
+
+A :class:`VQC` bundles everything needed to treat a quantum circuit as a
+parametric function ``f(x; w) -> R^{n_obs}``: the symbolic circuit, the
+measurement observables, and the weight initialiser.  The quantum actors and
+critics of :mod:`repro.marl` are thin wrappers over these bundles, and
+:mod:`repro.nn.quantum_layer` adapts them into autodiff modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.encoding import AngleEncoding, MultiLayerAngleEncoding
+from repro.quantum.observables import all_z_observables
+from repro.quantum.templates import (
+    BasicEntanglerTemplate,
+    RandomLayerTemplate,
+    StronglyEntanglingTemplate,
+)
+
+__all__ = ["VQC", "build_vqc", "make_template"]
+
+
+class VQC:
+    """A measurable parameterised circuit: ``f(x; w) = <O_j>_j``.
+
+    Attributes:
+        circuit: The symbolic :class:`QuantumCircuit` (encoder + ansatz).
+        observables: Measurement observables defining the output vector.
+        template: The ansatz template (used for weight initialisation).
+    """
+
+    def __init__(self, circuit, observables, template):
+        circuit.validate()
+        self.circuit = circuit
+        self.observables = list(observables)
+        self.template = template
+
+    @property
+    def n_qubits(self):
+        """Register width."""
+        return self.circuit.n_qubits
+
+    @property
+    def n_features(self):
+        """Classical input dimensionality."""
+        return self.circuit.n_inputs
+
+    @property
+    def n_weights(self):
+        """Trainable parameter count (the paper's 50-parameter budget)."""
+        return self.circuit.n_weights
+
+    @property
+    def n_outputs(self):
+        """Measurement vector dimensionality."""
+        return len(self.observables)
+
+    def initial_weights(self, rng):
+        """Sample initial trainable angles from the template's distribution."""
+        weights = self.template.initial_weights(rng)
+        if weights.shape != (self.n_weights,):
+            raise ValueError(
+                f"template produced {weights.shape} weights, "
+                f"circuit needs ({self.n_weights},)"
+            )
+        return weights
+
+    def run(self, backend, inputs, weights):
+        """Forward evaluation on a backend: ``(B, n_outputs)`` expectations."""
+        return backend.run(self.circuit, self.observables, inputs, weights)
+
+    def __repr__(self):
+        return (
+            f"VQC(n_qubits={self.n_qubits}, n_features={self.n_features}, "
+            f"n_weights={self.n_weights}, n_outputs={self.n_outputs})"
+        )
+
+
+def make_template(name, n_qubits, n_weights, seed=0, two_qubit_ratio=0.25):
+    """Build an ansatz template by name with a target weight budget.
+
+    Args:
+        name: ``"random"`` (the paper's choice), ``"basic_entangler"`` or
+            ``"strongly_entangling"``.
+        n_qubits: Register width.
+        n_weights: Requested trainable-parameter budget.  Structured
+            templates round *down* to the nearest whole number of layers and
+            will raise if the budget is below one layer.
+        seed: Seed for the random template's gate sampling.
+        two_qubit_ratio: Entangling-gate fraction for the random template.
+    """
+    if name == "random":
+        return RandomLayerTemplate(
+            n_qubits, n_weights, seed=seed, two_qubit_ratio=two_qubit_ratio
+        )
+    if name == "basic_entangler":
+        n_layers = n_weights // n_qubits
+        if n_layers < 1:
+            raise ValueError(
+                f"budget {n_weights} below one basic-entangler layer "
+                f"({n_qubits} weights)"
+            )
+        return BasicEntanglerTemplate(n_qubits, n_layers)
+    if name == "strongly_entangling":
+        n_layers = n_weights // (3 * n_qubits)
+        if n_layers < 1:
+            raise ValueError(
+                f"budget {n_weights} below one strongly-entangling layer "
+                f"({3 * n_qubits} weights)"
+            )
+        return StronglyEntanglingTemplate(n_qubits, n_layers)
+    raise ValueError(f"unknown template {name!r}")
+
+
+def build_vqc(
+    n_qubits,
+    n_features,
+    n_weights,
+    seed=0,
+    template="random",
+    encoding_scale=np.pi,
+    observables=None,
+    two_qubit_ratio=0.25,
+):
+    """Assemble the paper's VQC: multi-layer angle encoding + ansatz + Z's.
+
+    When ``n_features == n_qubits`` this degenerates to plain angle encoding
+    (the actor case); when ``n_features`` is a larger multiple of
+    ``n_qubits`` the Fig. 1 multi-layer encoder compresses the joint state
+    (the critic case).
+
+    Args:
+        n_qubits: Register width (Table II: 4).
+        n_features: Classical input dimensionality.
+        n_weights: Trainable gate budget (Table II: 50).
+        seed: Ansatz sampling seed.
+        template: Template name, see :func:`make_template`.
+        encoding_scale: Feature-to-angle scale.
+        observables: Measurement set; defaults to ``Z`` on every qubit.
+    """
+    circuit = QuantumCircuit(n_qubits)
+    if n_features == n_qubits:
+        encoder = AngleEncoding(n_qubits, scale=encoding_scale)
+    else:
+        encoder = MultiLayerAngleEncoding(
+            n_qubits, n_features, scale=encoding_scale
+        )
+    encoder.apply(circuit)
+    template_obj = make_template(
+        template, n_qubits, n_weights, seed=seed, two_qubit_ratio=two_qubit_ratio
+    )
+    template_obj.apply(circuit)
+    if observables is None:
+        observables = all_z_observables(n_qubits)
+    return VQC(circuit, observables, template_obj)

@@ -1,0 +1,58 @@
+"""Deterministic seed management.
+
+Every stochastic component in this library (environment arrivals, weight
+initialisation, action sampling, shot noise, ansatz structure) draws from an
+explicitly passed ``numpy.random.Generator``.  This module provides the
+conventions for deriving independent child generators from one experiment
+seed so that runs are exactly reproducible and components are statistically
+decoupled (reseeding one never shifts another's stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs", "SeedSequenceFactory"]
+
+
+def make_rng(seed=None):
+    """A fresh ``numpy.random.Generator`` (PCG64) from a seed or entropy."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n):
+    """``n`` statistically independent generators derived from one seed."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [np.random.default_rng(child) for child in children]
+
+
+class SeedSequenceFactory:
+    """Named, reproducible generator factory for an experiment run.
+
+    Children are derived from ``(root_seed, name)`` so that the generator a
+    component receives depends only on the root seed and its own name, never
+    on the order components were constructed in::
+
+        seeds = SeedSequenceFactory(42)
+        env_rng = seeds.rng("env")
+        actor_rng = seeds.rng("actor/0")
+    """
+
+    def __init__(self, root_seed):
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, name):
+        """Stable 64-bit child seed for a component name."""
+        # Hash the name into entropy words; SeedSequence mixes them soundly.
+        words = [self.root_seed & 0xFFFFFFFF, (self.root_seed >> 32) & 0xFFFFFFFF]
+        words.extend(ord(c) for c in name)
+        return np.random.SeedSequence(words)
+
+    def rng(self, name):
+        """Generator for a named component."""
+        return np.random.default_rng(self.seed_for(name))
+
+    def __repr__(self):
+        return f"SeedSequenceFactory(root_seed={self.root_seed})"

@@ -1,0 +1,23 @@
+"""Visualisation: HLS amplitude colouring, qubit heatmaps, ASCII plots."""
+
+from repro.viz.ascii_plots import line_plot, multi_series_table, sparkline
+from repro.viz.hls import (
+    amplitude_to_hls,
+    amplitude_to_rgb,
+    phase_to_hue,
+    rgb_grid,
+)
+from repro.viz.qubit_heatmap import QubitStateHeatmap, render_ansi, render_text
+
+__all__ = [
+    "line_plot",
+    "multi_series_table",
+    "sparkline",
+    "amplitude_to_hls",
+    "amplitude_to_rgb",
+    "phase_to_hue",
+    "rgb_grid",
+    "QubitStateHeatmap",
+    "render_ansi",
+    "render_text",
+]

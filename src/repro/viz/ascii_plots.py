@@ -1,0 +1,109 @@
+"""Terminal line plots for training curves (no plotting dependency).
+
+Used by the examples and the benchmark harness to show the Fig. 3 curves
+directly in the terminal, and to dump aligned multi-series tables that can
+be pasted into external plotting tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "multi_series_table", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(series):
+    """One-line unicode sparkline of a numeric series."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.size == 0:
+        return ""
+    low, high = float(series.min()), float(series.max())
+    if high - low < 1e-12:
+        return _SPARK_CHARS[0] * series.size
+    scaled = (series - low) / (high - low)
+    indices = np.minimum(
+        (scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1
+    )
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def line_plot(series_by_name, width=72, height=16, title=None, y_label=None):
+    """ASCII line plot of one or more equally-indexed series.
+
+    Args:
+        series_by_name: Mapping ``name -> 1-D array``.  Series are drawn
+            with distinct marker characters and listed in a legend.
+        width: Plot width in characters (x-axis is resampled to fit).
+        height: Plot height in rows.
+        title: Optional title line.
+        y_label: Optional y-axis label in the legend.
+    """
+    if not series_by_name:
+        raise ValueError("need at least one series")
+    markers = "*+ox#@%&"
+    arrays = {
+        name: np.asarray(values, dtype=np.float64)
+        for name, values in series_by_name.items()
+    }
+    y_min = min(float(a.min()) for a in arrays.values())
+    y_max = max(float(a.max()) for a in arrays.values())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    for series_index, (name, values) in enumerate(arrays.items()):
+        marker = markers[series_index % len(markers)]
+        n = len(values)
+        for col in range(width):
+            # Resample: average the series slice mapping onto this column.
+            start = int(col * n / width)
+            stop = max(start + 1, int((col + 1) * n / width))
+            value = float(values[start:stop].mean())
+            level = (value - y_min) / (y_max - y_min)
+            row = height - 1 - int(level * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_min:>10.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(arrays)
+    )
+    if y_label:
+        legend = f"[{y_label}]  " + legend
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def multi_series_table(index, series_by_name, index_label="epoch",
+                       float_format="{:.3f}", max_rows=None):
+    """Aligned text table: one column per series, one row per index entry."""
+    names = list(series_by_name)
+    arrays = [np.asarray(series_by_name[n], dtype=np.float64) for n in names]
+    index = np.asarray(index)
+    for name, arr in zip(names, arrays):
+        if len(arr) != len(index):
+            raise ValueError(f"series {name!r} length != index length")
+
+    rows = range(len(index))
+    if max_rows is not None and len(index) > max_rows:
+        stride = int(np.ceil(len(index) / max_rows))
+        rows = range(0, len(index), stride)
+
+    header = [index_label] + names
+    widths = [max(len(h), 10) for h in header]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for r in rows:
+        cells = [str(index[r]).ljust(widths[0])]
+        for col, arr in enumerate(arrays):
+            cells.append(float_format.format(arr[r]).ljust(widths[col + 1]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""HLS colour mapping for complex quantum amplitudes (Fig. 4).
+
+The paper renders "superpositioned qubit states (magnitude and phase
+vector)" in the hue-lightness-saturation colour system: the phase of an
+amplitude selects the hue around the colour wheel and the magnitude drives
+lightness/saturation.  This module provides the pure-python colour math
+(no external plotting dependency) and returns 8-bit RGB triples that both
+the ANSI terminal renderer and file exporters consume.
+"""
+
+from __future__ import annotations
+
+import colorsys
+
+import numpy as np
+
+__all__ = ["phase_to_hue", "amplitude_to_hls", "amplitude_to_rgb", "rgb_grid"]
+
+
+def phase_to_hue(phase):
+    """Map a phase in ``[-pi, pi]`` onto a hue in ``[0, 1)``."""
+    phase = np.asarray(phase, dtype=np.float64)
+    return np.mod(phase / (2.0 * np.pi) + 0.5, 1.0)
+
+
+def amplitude_to_hls(magnitude, phase, max_magnitude=1.0):
+    """HLS components for one or more complex amplitudes.
+
+    Hue encodes phase; lightness interpolates from near-black (zero
+    magnitude) to mid-lightness (full magnitude); saturation is full except
+    for vanishing amplitudes.
+
+    Returns arrays ``(hue, lightness, saturation)`` of the input shape.
+    """
+    magnitude = np.asarray(magnitude, dtype=np.float64)
+    phase = np.asarray(phase, dtype=np.float64)
+    if max_magnitude <= 0:
+        raise ValueError("max_magnitude must be positive")
+    scaled = np.clip(magnitude / max_magnitude, 0.0, 1.0)
+    hue = phase_to_hue(phase)
+    lightness = 0.08 + 0.52 * scaled
+    saturation = np.where(scaled > 1e-9, 0.9, 0.0)
+    return hue, lightness, saturation
+
+
+def amplitude_to_rgb(magnitude, phase, max_magnitude=1.0):
+    """8-bit RGB triple(s) for complex amplitude(s)."""
+    hue, lightness, saturation = amplitude_to_hls(magnitude, phase, max_magnitude)
+    hue = np.atleast_1d(hue)
+    lightness = np.atleast_1d(lightness)
+    saturation = np.atleast_1d(saturation)
+    out = np.empty(hue.shape + (3,), dtype=np.uint8)
+    for index in np.ndindex(hue.shape):
+        r, g, b = colorsys.hls_to_rgb(
+            float(hue[index]), float(lightness[index]), float(saturation[index])
+        )
+        out[index] = (int(r * 255), int(g * 255), int(b * 255))
+    return out if out.shape[:-1] != (1,) else out[0]
+
+
+def rgb_grid(amplitudes, max_magnitude=None):
+    """RGB image array ``(rows, cols, 3)`` for a complex amplitude grid."""
+    amplitudes = np.asarray(amplitudes)
+    magnitude = np.abs(amplitudes)
+    phase = np.where(magnitude > 1e-12, np.angle(amplitudes), 0.0)
+    if max_magnitude is None:
+        max_magnitude = max(float(magnitude.max()), 1e-12)
+    return amplitude_to_rgb(magnitude, phase, max_magnitude)

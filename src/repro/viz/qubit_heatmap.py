@@ -1,0 +1,113 @@
+"""Qubit-state heatmaps: the paper's Fig. 4 demonstration panels.
+
+A 4-qubit statevector's 16 amplitudes are arranged as a 4x4 grid — the
+first two qubits index the row, the last two the column — and each cell is
+coloured by magnitude (lightness) and phase (hue).  Rendering targets:
+
+- ANSI truecolor blocks for the terminal (examples / demos),
+- plain-text magnitude/phase tables,
+- CSV / JSON export for external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.quantum.bloch import amplitude_grid, magnitude_phase
+from repro.viz.hls import rgb_grid
+
+__all__ = ["QubitStateHeatmap", "render_ansi", "render_text"]
+
+
+class QubitStateHeatmap:
+    """Heatmap view of one pure state.
+
+    Args:
+        psi: A single statevector (``(dim,)`` or ``(1, dim)``).
+        rows: Grid rows (default: square-ish split of the dimension).
+    """
+
+    def __init__(self, psi, rows=None):
+        psi = np.asarray(psi)
+        if psi.ndim == 2:
+            if psi.shape[0] != 1:
+                raise ValueError("QubitStateHeatmap takes a single state")
+            psi = psi[0]
+        dim = psi.shape[0]
+        n_qubits = int(np.log2(dim))
+        if 2**n_qubits != dim:
+            raise ValueError(f"dimension {dim} is not a power of two")
+        if rows is None:
+            rows = 2 ** (n_qubits // 2)
+        cols = dim // rows
+        self.psi = psi
+        self.n_qubits = n_qubits
+        self.rows = rows
+        self.cols = cols
+        self.grid = amplitude_grid(psi[None, :], rows, cols)[0]
+        self.magnitude, self.phase = magnitude_phase(self.grid)
+
+    def rgb(self, max_magnitude=None):
+        """``(rows, cols, 3)`` uint8 colour image."""
+        return rgb_grid(self.grid, max_magnitude=max_magnitude)
+
+    def to_csv(self):
+        """CSV text with one row per cell: row, col, magnitude, phase."""
+        lines = ["row,col,magnitude,phase"]
+        for r in range(self.rows):
+            for c in range(self.cols):
+                lines.append(
+                    f"{r},{c},{self.magnitude[r, c]:.6f},{self.phase[r, c]:.6f}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def to_json(self):
+        """JSON document with magnitude and phase grids."""
+        return json.dumps(
+            {
+                "n_qubits": self.n_qubits,
+                "rows": self.rows,
+                "cols": self.cols,
+                "magnitude": self.magnitude.tolist(),
+                "phase": self.phase.tolist(),
+            },
+            indent=2,
+        )
+
+
+def render_ansi(heatmap, cell_width=4):
+    """Truecolor ANSI rendering (two terminal rows per grid row)."""
+    rgb = heatmap.rgb()
+    lines = []
+    for r in range(heatmap.rows):
+        cells = []
+        for c in range(heatmap.cols):
+            red, green, blue = (int(v) for v in rgb[r, c])
+            cells.append(
+                f"\x1b[48;2;{red};{green};{blue}m" + " " * cell_width + "\x1b[0m"
+            )
+        row = "".join(cells)
+        lines.append(row)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_text(heatmap):
+    """Plain-text magnitude (and phase) table for logs and tests."""
+    lines = [f"{heatmap.n_qubits}-qubit state ({heatmap.rows}x{heatmap.cols})"]
+    lines.append("magnitude:")
+    for r in range(heatmap.rows):
+        lines.append(
+            "  " + " ".join(f"{heatmap.magnitude[r, c]:.3f}" for c in range(heatmap.cols))
+        )
+    lines.append("phase/pi:")
+    for r in range(heatmap.rows):
+        lines.append(
+            "  "
+            + " ".join(
+                f"{heatmap.phase[r, c] / np.pi:+.2f}" for c in range(heatmap.cols)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Shared numeric helpers for the test suite."""
+
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum import statevector as sv
+
+
+def random_state(rng, n_qubits, batch=1):
+    """A normalised random pure-state batch."""
+    dim = 2**n_qubits
+    psi = rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+    return sv.normalize(psi)
+
+
+def numeric_gradient(fn, array, epsilon=1e-6):
+    """Central-difference gradient of scalar ``fn`` w.r.t. every entry."""
+    array = np.asarray(array, dtype=np.float64)
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = fn(array)
+        flat[i] = original - epsilon
+        minus = fn(array)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def full_gate_matrix(gate_matrix, wires, n_qubits):
+    """Embed a gate matrix into the full Hilbert space by kron products.
+
+    Only supports wires in ascending adjacent-free order via permutations —
+    used as an independent oracle against the simulator's axis shuffling.
+    """
+    dim = 2**n_qubits
+    k = len(wires)
+    other = [w for w in range(n_qubits) if w not in wires]
+    perm_qubits = list(wires) + other
+
+    big = np.kron(gate_matrix, np.eye(2 ** len(other), dtype=np.complex128))
+
+    # Basis permutation matrix mapping natural order -> (wires, other).
+    perm = np.zeros((dim, dim), dtype=np.complex128)
+    for index in range(dim):
+        bits = [(index >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+        permuted_bits = [bits[q] for q in perm_qubits]
+        new_index = 0
+        for bit in permuted_bits:
+            new_index = (new_index << 1) | bit
+        perm[new_index, index] = 1.0
+    return perm.conj().T @ big @ perm

@@ -1,0 +1,90 @@
+"""Smoke tests for the remaining ablation runners (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_barren_plateau,
+    run_noise_robustness,
+    run_parameter_budget,
+    run_shot_budget,
+    run_template_comparison,
+)
+from repro.experiments.registry import run_experiment
+
+
+class TestNoiseRobustness:
+    def test_structure(self):
+        result = run_noise_robustness(
+            noise_levels=(0.0, 0.05),
+            train_epochs=1,
+            episode_limit=4,
+            n_episodes=1,
+            seed=3,
+        )
+        assert result["noise_levels"] == [0.0, 0.05]
+        assert len(result["greedy_rewards"]) == 2
+        assert all(r <= 0.0 for r in result["greedy_rewards"])
+
+    def test_reuses_framework(self):
+        from repro.experiments.ablations import _train_proposed
+
+        framework = _train_proposed(train_epochs=1, episode_limit=4, seed=3)
+        result = run_noise_robustness(
+            noise_levels=(0.0,), n_episodes=1, seed=3, framework=framework
+        )
+        assert len(result["greedy_rewards"]) == 1
+
+
+class TestShotBudget:
+    def test_structure(self):
+        result = run_shot_budget(
+            shot_counts=(8, None),
+            train_epochs=1,
+            episode_limit=4,
+            n_episodes=1,
+            seed=3,
+        )
+        assert result["shot_counts"] == [8, "exact"]
+        assert len(result["greedy_rewards"]) == 2
+
+
+class TestParameterBudget:
+    def test_structure(self):
+        result = run_parameter_budget(
+            budgets=(5, 10), train_epochs=1, episode_limit=4, seed=3
+        )
+        assert result["budgets"] == [5, 10]
+        assert len(result["final_rewards"]) == 2
+        assert result["random_walk_return"] < 0.0
+
+
+class TestTemplateComparison:
+    def test_structure(self):
+        result = run_template_comparison(
+            templates=("random", "basic_entangler"),
+            train_epochs=1,
+            episode_limit=4,
+            seed=3,
+        )
+        assert set(result["final_rewards"]) == {"random", "basic_entangler"}
+        assert result["actor_parameters"]["random"] == 50
+        assert result["actor_parameters"]["basic_entangler"] == 48
+
+
+class TestBarrenPlateau:
+    def test_variance_collapses_with_width(self):
+        result = run_barren_plateau(
+            qubit_counts=(2, 6), n_gates=20, n_samples=12, seed=5
+        )
+        variances = result["gradient_variance"]
+        assert len(variances) == 2
+        assert variances[1] < variances[0]
+        assert all(v >= 0.0 for v in variances)
+        assert all(np.isfinite(v) for v in result["gradient_mean_abs"])
+
+    def test_registry_dispatch(self):
+        result = run_experiment(
+            "ablation-plateau", qubit_counts=(2, 3), n_gates=8, n_samples=4
+        )
+        assert result["experiment"] == "ablation_barren_plateau"

@@ -1,0 +1,85 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.envs.arrivals import (
+    BernoulliBurstArrivals,
+    DeterministicArrivals,
+    TruncatedPoissonArrivals,
+    UniformArrivals,
+)
+
+
+class TestUniformArrivals:
+    def test_paper_range(self, rng):
+        """b ~ U(0, w_p * q_max) with Table II's w_p = 0.3, q_max = 1."""
+        process = UniformArrivals(0.3, 1.0)
+        samples = process.sample(rng, 10_000)
+        assert np.all(samples >= 0.0)
+        assert np.all(samples <= 0.3)
+        assert samples.mean() == pytest.approx(0.15, abs=0.01)
+
+    def test_mean(self):
+        assert UniformArrivals(0.3, 1.0).mean == pytest.approx(0.15)
+
+    def test_zero_rate(self, rng):
+        assert np.all(UniformArrivals(0.0, 1.0).sample(rng, 10) == 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(-0.1, 1.0)
+
+
+class TestBernoulliBurstArrivals:
+    def test_values_binary(self, rng):
+        process = BernoulliBurstArrivals(0.3, 0.5)
+        samples = process.sample(rng, 1000)
+        assert set(np.unique(samples)) <= {0.0, 0.5}
+
+    def test_mean(self, rng):
+        process = BernoulliBurstArrivals(0.25, 0.8)
+        assert process.mean == pytest.approx(0.2)
+        samples = process.sample(rng, 20_000)
+        assert samples.mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliBurstArrivals(1.5, 0.1)
+        with pytest.raises(ValueError):
+            BernoulliBurstArrivals(0.5, -0.1)
+
+
+class TestTruncatedPoissonArrivals:
+    def test_cap_respected(self, rng):
+        process = TruncatedPoissonArrivals(rate=10.0, packet_size=0.1, cap=0.4)
+        samples = process.sample(rng, 1000)
+        assert np.all(samples <= 0.4)
+
+    def test_mean_without_truncation(self, rng):
+        process = TruncatedPoissonArrivals(rate=1.0, packet_size=0.1, cap=10.0)
+        samples = process.sample(rng, 50_000)
+        assert samples.mean() == pytest.approx(0.1, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedPoissonArrivals(-1.0, 0.1, 1.0)
+
+
+class TestDeterministicArrivals:
+    def test_constant(self, rng):
+        process = DeterministicArrivals(0.25)
+        assert np.all(process.sample(rng, 5) == 0.25)
+        assert process.mean == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals(-1.0)
+
+
+class TestReprs:
+    def test_all_reprs(self):
+        assert "Uniform" in repr(UniformArrivals(0.3, 1.0))
+        assert "Bernoulli" in repr(BernoulliBurstArrivals(0.1, 0.5))
+        assert "Poisson" in repr(TruncatedPoissonArrivals(1.0, 0.1, 1.0))
+        assert "Deterministic" in repr(DeterministicArrivals(0.1))

@@ -1,0 +1,124 @@
+"""Unit tests for state analysis: partial trace, Bloch vectors, grids."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import statevector as sv
+from repro.quantum.bloch import (
+    all_bloch_vectors,
+    amplitude_grid,
+    bloch_vector,
+    magnitude_phase,
+    partial_trace,
+)
+
+from tests.helpers import random_state
+
+
+class TestPartialTrace:
+    def test_product_state(self):
+        # |0> (x) |1>: each marginal is pure.
+        psi = sv.basis_state(2, 1)
+        rho0 = partial_trace(psi, (0,), 2)
+        rho1 = partial_trace(psi, (1,), 2)
+        assert np.allclose(rho0[0], [[1, 0], [0, 0]])
+        assert np.allclose(rho1[0], [[0, 0], [0, 1]])
+
+    def test_bell_state_marginals_maximally_mixed(self):
+        psi = sv.zero_state(2)
+        psi = sv.apply_gate(psi, "h", (0,), 2)
+        psi = sv.apply_gate(psi, "cnot", (0, 1), 2)
+        for wire in (0, 1):
+            rho = partial_trace(psi, (wire,), 2)
+            assert np.allclose(rho[0], np.eye(2) / 2.0)
+
+    def test_trace_one_and_hermitian(self, rng):
+        psi = random_state(rng, 3, batch=4)
+        rho = partial_trace(psi, (0, 2), 3)
+        assert rho.shape == (4, 4, 4)
+        assert np.allclose(np.einsum("bii->b", rho), 1.0)
+        assert np.allclose(rho, np.conjugate(np.swapaxes(rho, 1, 2)))
+
+    def test_keep_all_wires(self, rng):
+        psi = random_state(rng, 2)
+        rho = partial_trace(psi, (0, 1), 2)
+        expected = np.einsum("bi,bj->bij", psi, np.conjugate(psi))
+        assert np.allclose(rho, expected)
+
+    def test_wire_order_transposes_subsystems(self, rng):
+        psi = random_state(rng, 2)
+        ab = partial_trace(psi, (0, 1), 2)[0]
+        ba = partial_trace(psi, (1, 0), 2)[0]
+        swap = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+        assert np.allclose(ba, swap @ ab @ swap)
+
+    def test_duplicate_wires_rejected(self, rng):
+        with pytest.raises(ValueError):
+            partial_trace(random_state(rng, 2), (0, 0), 2)
+
+    def test_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            partial_trace(random_state(rng, 2), (2,), 2)
+
+
+class TestBlochVector:
+    def test_basis_states(self):
+        psi0 = sv.zero_state(1)
+        vec = bloch_vector(partial_trace(psi0, (0,), 1))
+        assert np.allclose(vec[0], [0, 0, 1])
+        psi1 = sv.apply_gate(psi0, "x", (0,), 1)
+        vec = bloch_vector(partial_trace(psi1, (0,), 1))
+        assert np.allclose(vec[0], [0, 0, -1])
+
+    def test_plus_state(self):
+        psi = sv.apply_gate(sv.zero_state(1), "h", (0,), 1)
+        vec = bloch_vector(partial_trace(psi, (0,), 1))
+        assert np.allclose(vec[0], [1, 0, 0], atol=1e-12)
+
+    def test_pure_states_on_sphere(self, rng):
+        psi = random_state(rng, 1, batch=6)
+        vec = bloch_vector(partial_trace(psi, (0,), 1))
+        assert np.allclose(np.linalg.norm(vec, axis=1), 1.0)
+
+    def test_entangled_marginal_inside_sphere(self):
+        psi = sv.apply_gate(sv.zero_state(2), "h", (0,), 2)
+        psi = sv.apply_gate(psi, "cnot", (0, 1), 2)
+        vec = bloch_vector(partial_trace(psi, (0,), 2))
+        assert np.linalg.norm(vec[0]) < 1e-10
+
+    def test_all_bloch_vectors_shape(self, rng):
+        psi = random_state(rng, 3, batch=2)
+        vectors = all_bloch_vectors(psi, 3)
+        assert vectors.shape == (2, 3, 3)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            bloch_vector(np.eye(4)[None])
+
+
+class TestAmplitudeGrid:
+    def test_fig4_layout(self):
+        """First two qubits index the row, last two the column."""
+        psi = sv.basis_state(4, 0b0110)  # q0q1 = 01, q2q3 = 10
+        grid = amplitude_grid(psi, 4, 4)
+        assert grid.shape == (1, 4, 4)
+        assert abs(grid[0, 1, 2]) == pytest.approx(1.0)
+
+    def test_1d_input_promoted(self):
+        grid = amplitude_grid(np.ones(4) / 2.0, 2, 2)
+        assert grid.shape == (1, 2, 2)
+
+    def test_incompatible_grid(self):
+        with pytest.raises(ValueError):
+            amplitude_grid(np.ones(8), 3, 3)
+
+    def test_magnitude_phase(self):
+        amp = np.array([1.0, 1j, -1.0, 0.0])
+        magnitude, phase = magnitude_phase(amp)
+        assert np.allclose(magnitude, [1, 1, 1, 0])
+        assert phase[0] == pytest.approx(0.0)
+        assert phase[1] == pytest.approx(np.pi / 2)
+        assert abs(phase[2]) == pytest.approx(np.pi)
+        assert phase[3] == 0.0  # zero amplitude gets zero phase

@@ -1,0 +1,118 @@
+"""Unit tests for episode storage."""
+
+import numpy as np
+import pytest
+
+from repro.marl.buffer import Episode, RolloutBuffer, TransitionBatch
+
+
+def make_episode(length=3, n_agents=2, obs_size=4, state_size=8, reward=-1.0):
+    episode = Episode()
+    for t in range(length):
+        episode.add(
+            state=np.full(state_size, t, dtype=float),
+            observations=np.full((n_agents, obs_size), t, dtype=float),
+            actions=[t % 4] * n_agents,
+            reward=reward,
+            next_state=np.full(state_size, t + 1, dtype=float),
+            next_observations=np.full((n_agents, obs_size), t + 1, dtype=float),
+            done=(t == length - 1),
+        )
+    return episode.finish()
+
+
+class TestEpisode:
+    def test_shapes_after_finish(self):
+        episode = make_episode(length=5)
+        assert episode.states.shape == (5, 8)
+        assert episode.observations.shape == (5, 2, 4)
+        assert episode.actions.shape == (5, 2)
+        assert episode.rewards.shape == (5,)
+        assert episode.dones.shape == (5,)
+
+    def test_total_reward(self):
+        assert make_episode(length=4, reward=-2.0).total_reward == -8.0
+
+    def test_done_only_at_end(self):
+        episode = make_episode(length=4)
+        assert list(episode.dones) == [False, False, False, True]
+
+    def test_add_after_finish_rejected(self):
+        episode = make_episode()
+        with pytest.raises(RuntimeError):
+            episode.add(
+                np.zeros(8), np.zeros((2, 4)), [0, 0], 0.0,
+                np.zeros(8), np.zeros((2, 4)), False,
+            )
+
+    def test_finish_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Episode().finish()
+
+    def test_len(self):
+        assert len(make_episode(length=7)) == 7
+
+
+class TestTransitionBatch:
+    def test_concatenates_episodes(self):
+        batch = TransitionBatch([make_episode(3), make_episode(4)])
+        assert batch.size == 7
+        assert batch.n_episodes == 2
+        assert batch.n_agents == 2
+        assert len(batch) == 7
+
+    def test_agent_views(self):
+        batch = TransitionBatch([make_episode(3)])
+        obs = batch.agent_observations(1)
+        acts = batch.agent_actions(1)
+        assert obs.shape == (3, 4)
+        assert acts.shape == (3,)
+        assert np.allclose(obs[2], 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionBatch([])
+
+
+class TestRolloutBuffer:
+    def test_add_and_batch(self):
+        buffer = RolloutBuffer()
+        buffer.add_episode(make_episode(3))
+        buffer.add_episode(make_episode(2))
+        assert buffer.n_episodes == 2
+        assert buffer.n_transitions == 5
+        assert buffer.batch().size == 5
+
+    def test_unfinished_rejected(self):
+        buffer = RolloutBuffer()
+        with pytest.raises(ValueError):
+            buffer.add_episode(Episode())
+
+    def test_capacity_eviction(self):
+        buffer = RolloutBuffer(capacity=2)
+        first = make_episode(1)
+        buffer.add_episode(first)
+        buffer.add_episode(make_episode(2))
+        buffer.add_episode(make_episode(3))
+        assert buffer.n_episodes == 2
+        assert first not in buffer.episodes
+
+    def test_clear(self):
+        buffer = RolloutBuffer()
+        buffer.add_episode(make_episode())
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_mean_episode_reward(self):
+        buffer = RolloutBuffer()
+        buffer.add_episode(make_episode(2, reward=-1.0))
+        buffer.add_episode(make_episode(2, reward=-3.0))
+        assert buffer.mean_episode_reward() == pytest.approx(-4.0)
+
+    def test_mean_reward_empty_raises(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer().mean_episode_reward()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(capacity=0)

@@ -1,0 +1,102 @@
+"""Unit tests for Kraus channels and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import channels as ch
+from repro.quantum.circuit import Operation, ParameterRef
+
+
+ALL_FACTORIES = [
+    ch.depolarizing,
+    ch.bit_flip,
+    ch.phase_flip,
+    ch.bit_phase_flip,
+    ch.amplitude_damping,
+    ch.phase_damping,
+]
+
+
+class TestKrausChannels:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    @pytest.mark.parametrize("p", [0.0, 0.1, 0.5, 1.0])
+    def test_trace_preserving(self, factory, p):
+        channel = factory(p)
+        total = sum(k.conj().T @ k for k in channel.kraus_operators)
+        assert np.allclose(total, np.eye(channel.dim))
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_invalid_probability(self, factory):
+        with pytest.raises(ValueError):
+            factory(-0.1)
+        with pytest.raises(ValueError):
+            factory(1.5)
+
+    def test_n_qubits(self):
+        assert ch.depolarizing(0.1).n_qubits == 1
+
+    def test_non_trace_preserving_rejected(self):
+        with pytest.raises(ValueError, match="not trace preserving"):
+            ch.KrausChannel("bad", [np.eye(2) * 0.5])
+
+    def test_empty_kraus_rejected(self):
+        with pytest.raises(ValueError):
+            ch.KrausChannel("empty", [])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ch.KrausChannel("mixed", [np.eye(2), np.eye(4)])
+
+    def test_repr(self):
+        assert "depolarizing" in repr(ch.depolarizing(0.1))
+
+
+class TestNoiseModel:
+    def _op(self, gate, wires, param=None):
+        return Operation(gate=gate, wires=wires, param=param)
+
+    def test_noiseless_default(self):
+        model = ch.NoiseModel()
+        assert model.is_noiseless
+        op = self._op("rx", (0,), ParameterRef.fixed(0.1))
+        assert model.channels_after(op) == []
+
+    def test_single_qubit_channel_per_wire(self):
+        model = ch.NoiseModel(single_qubit_error=0.01)
+        op = self._op("rx", (2,), ParameterRef.fixed(0.1))
+        channels = model.channels_after(op)
+        assert len(channels) == 1
+        assert channels[0][1] == 2
+
+    def test_two_qubit_gate_gets_channel_on_both_wires(self):
+        model = ch.NoiseModel(single_qubit_error=0.01)
+        op = self._op("cnot", (0, 3))
+        channels = model.channels_after(op)
+        assert [wire for _, wire in channels] == [0, 3]
+
+    def test_default_two_qubit_ratio(self):
+        model = ch.NoiseModel(single_qubit_error=0.01)
+        assert model.two_qubit_error == pytest.approx(0.1)
+
+    def test_two_qubit_error_capped_at_one(self):
+        model = ch.NoiseModel(single_qubit_error=0.5)
+        assert model.two_qubit_error == 1.0
+
+    def test_explicit_two_qubit_error(self):
+        model = ch.NoiseModel(single_qubit_error=0.01, two_qubit_error=0.02)
+        op = self._op("cnot", (0, 1))
+        (channel, _), _ = model.channels_after(op)
+        assert "0.02" in channel.name
+
+    def test_custom_factory(self):
+        model = ch.NoiseModel(
+            single_qubit_error=0.3, channel_factory=ch.bit_flip
+        )
+        op = self._op("rx", (0,), ParameterRef.fixed(0.0))
+        (channel, _), = model.channels_after(op)
+        assert "bit_flip" in channel.name
+
+    def test_repr(self):
+        assert "single_qubit_error=0.01" in repr(
+            ch.NoiseModel(single_qubit_error=0.01)
+        )

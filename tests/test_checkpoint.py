@@ -1,0 +1,106 @@
+"""Unit tests for framework checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.marl.checkpoint import (
+    checkpoint_info,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.marl.frameworks import build_framework
+
+ENV = SingleHopConfig(episode_limit=5)
+TRAIN = TrainingConfig(episodes_per_epoch=1, actor_lr=1e-3, critic_lr=1e-3)
+
+
+def build(name="proposed", seed=0):
+    return build_framework(name, seed=seed, env_config=ENV, train_config=TRAIN)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ["proposed", "comp1", "comp2", "comp3"])
+    def test_policy_identical_after_restore(self, name, tmp_path, rng):
+        source = build(name, seed=1)
+        source.train(n_epochs=2)
+        path = save_checkpoint(source, str(tmp_path / "ckpt"))
+
+        target = build(name, seed=99)  # different init
+        observations = rng.uniform(size=(3, ENV.observation_size))
+        before = source.actors.actors[0].probabilities(observations)
+        assert not np.allclose(
+            before, target.actors.actors[0].probabilities(observations)
+        )
+
+        load_checkpoint(target, path)
+        after = target.actors.actors[0].probabilities(observations)
+        assert np.allclose(before, after, atol=1e-12)
+
+    def test_critic_restored(self, tmp_path, rng):
+        source = build("proposed", seed=1)
+        source.train(n_epochs=2)
+        path = save_checkpoint(source, str(tmp_path / "ckpt"))
+        target = build("proposed", seed=7)
+        load_checkpoint(target, path)
+        states = rng.uniform(size=(3, ENV.state_size))
+        assert np.allclose(
+            source.trainer.critic.values(states),
+            target.trainer.critic.values(states),
+            atol=1e-12,
+        )
+        assert np.allclose(
+            source.trainer.target_critic.values(states),
+            target.trainer.target_critic.values(states),
+            atol=1e-12,
+        )
+
+    def test_epoch_restored(self, tmp_path):
+        source = build("comp2", seed=1)
+        source.train(n_epochs=3)
+        path = save_checkpoint(source, str(tmp_path / "ckpt"))
+        target = build("comp2", seed=2)
+        load_checkpoint(target, path)
+        assert target.trainer.epoch == 3
+
+    def test_npz_suffix_added(self, tmp_path):
+        source = build("comp2", seed=1)
+        path = save_checkpoint(source, str(tmp_path / "model"))
+        assert path.endswith(".npz")
+        load_checkpoint(build("comp2", seed=2), str(tmp_path / "model"))
+
+
+class TestHeader:
+    def test_info(self, tmp_path):
+        source = build("proposed", seed=1)
+        source.train(n_epochs=1)
+        path = save_checkpoint(source, str(tmp_path / "ckpt"))
+        info = checkpoint_info(path)
+        assert info["framework"] == "proposed"
+        assert info["epoch"] == 1
+        assert info["metadata"]["actor_parameters"] == 50
+        assert any(key.startswith("actor.0.") for key in info["arrays"])
+
+
+class TestValidation:
+    def test_wrong_framework_rejected(self, tmp_path):
+        path = save_checkpoint(build("proposed", seed=1), str(tmp_path / "a"))
+        with pytest.raises(ValueError, match="checkpoint is for"):
+            load_checkpoint(build("comp2", seed=1), path)
+
+    def test_non_strict_allows_compatible_shapes(self, tmp_path):
+        """comp1 and proposed share actor shapes but differ in critics."""
+        path = save_checkpoint(build("proposed", seed=1), str(tmp_path / "a"))
+        with pytest.raises(KeyError):
+            load_checkpoint(build("comp1", seed=1), path, strict=False)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        path = save_checkpoint(build("comp2", seed=1), str(tmp_path / "a"))
+        bigger = build_framework(
+            "comp2",
+            seed=1,
+            env_config=SingleHopConfig(n_agents=2, episode_limit=5),
+            train_config=TRAIN,
+        )
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(bigger, path)

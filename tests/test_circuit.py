@@ -1,0 +1,174 @@
+"""Unit tests for the circuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Operation, ParameterRef, QuantumCircuit
+
+
+class TestParameterRef:
+    def test_input_ref(self):
+        ref = ParameterRef.input(3, scale=2.0)
+        assert (ref.kind, ref.index, ref.scale) == ("input", 3, 2.0)
+
+    def test_weight_ref(self):
+        ref = ParameterRef.weight(0)
+        assert (ref.kind, ref.index, ref.scale) == ("weight", 0, 1.0)
+
+    def test_fixed_ref(self):
+        assert ParameterRef.fixed(0.5).value == 0.5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ParameterRef(kind="other", index=0)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            ParameterRef.input(-1)
+
+    def test_fixed_needs_value(self):
+        with pytest.raises(ValueError):
+            ParameterRef(kind="fixed")
+
+    def test_frozen(self):
+        ref = ParameterRef.weight(1)
+        with pytest.raises(AttributeError):
+            ref.index = 2
+
+
+class TestOperation:
+    def test_parameterised_gate_needs_param(self):
+        with pytest.raises(ValueError):
+            Operation(gate="rx", wires=(0,))
+
+    def test_fixed_gate_rejects_param(self):
+        with pytest.raises(ValueError):
+            Operation(gate="h", wires=(0,), param=ParameterRef.fixed(1.0))
+
+    def test_wire_arity(self):
+        with pytest.raises(ValueError):
+            Operation(gate="cnot", wires=(0,))
+
+    def test_flags(self):
+        weight_op = Operation("rx", (0,), ParameterRef.weight(0))
+        input_op = Operation("ry", (0,), ParameterRef.input(0))
+        fixed_op = Operation("rz", (0,), ParameterRef.fixed(0.1))
+        plain_op = Operation("h", (0,))
+        assert weight_op.is_trainable and not weight_op.is_input
+        assert input_op.is_input and not input_op.is_trainable
+        assert fixed_op.is_parameterised
+        assert not fixed_op.is_trainable and not fixed_op.is_input
+        assert not plain_op.is_parameterised
+
+
+class TestQuantumCircuit:
+    def build(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("rx", (0,), ParameterRef.input(0, scale=np.pi))
+        circuit.add("ry", (1,), ParameterRef.input(1))
+        circuit.add("h", (2,))
+        circuit.add("rz", (2,), ParameterRef.weight(0))
+        circuit.add("crx", (0, 1), ParameterRef.weight(1))
+        circuit.add("rx", (1,), ParameterRef.fixed(0.25))
+        return circuit
+
+    def test_counts(self):
+        circuit = self.build()
+        assert circuit.n_operations == 6
+        assert circuit.n_inputs == 2
+        assert circuit.n_weights == 2
+        assert len(circuit.trainable_operations) == 2
+
+    def test_gate_counts(self):
+        counts = self.build().gate_counts()
+        assert counts == {"rx": 2, "ry": 1, "h": 1, "rz": 1, "crx": 1}
+
+    def test_wire_out_of_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.add("h", (2,))
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_validate_contiguous_weights(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("rx", (0,), ParameterRef.weight(1))
+        with pytest.raises(ValueError, match="not contiguous"):
+            circuit.validate()
+
+    def test_validate_passes(self):
+        assert self.build().validate() is not None
+
+    def test_extend(self):
+        a = self.build()
+        b = QuantumCircuit(3)
+        b.add("x", (0,))
+        a.extend(b)
+        assert a.n_operations == 7
+
+    def test_extend_width_mismatch(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).extend(QuantumCircuit(3))
+
+    def test_copy_independent(self):
+        a = self.build()
+        b = a.copy()
+        b.add("x", (0,))
+        assert a.n_operations == 6
+        assert b.n_operations == 7
+
+    def test_resolve_fixed(self):
+        circuit = self.build()
+        op = circuit.operations[5]
+        assert circuit.resolve_angle(op) == pytest.approx(0.25)
+
+    def test_resolve_weight(self):
+        circuit = self.build()
+        op = circuit.operations[3]
+        assert circuit.resolve_angle(op, weights=[0.3, 0.4]) == pytest.approx(0.3)
+
+    def test_resolve_weight_batched(self):
+        circuit = self.build()
+        op = circuit.operations[3]
+        weights = np.array([[0.3, 0.4], [0.5, 0.6]])
+        assert np.allclose(
+            circuit.resolve_angle(op, weights=weights), [0.3, 0.5]
+        )
+
+    def test_resolve_input_scaled(self):
+        circuit = self.build()
+        op = circuit.operations[0]
+        inputs = np.array([[0.5, 0.1], [1.0, 0.2]])
+        assert np.allclose(
+            circuit.resolve_angle(op, inputs=inputs), [0.5 * np.pi, np.pi]
+        )
+
+    def test_resolve_missing_inputs(self):
+        circuit = self.build()
+        with pytest.raises(ValueError):
+            circuit.resolve_angle(circuit.operations[0], weights=[0.1, 0.2])
+
+    def test_resolve_missing_weights(self):
+        circuit = self.build()
+        with pytest.raises(ValueError):
+            circuit.resolve_angle(circuit.operations[3], inputs=np.zeros((1, 2)))
+
+    def test_resolve_non_parameterised(self):
+        circuit = self.build()
+        assert circuit.resolve_angle(circuit.operations[2]) is None
+
+    def test_draw_mentions_everything(self):
+        text = self.build().draw()
+        assert "x[0]*3.142" in text
+        assert "w[1]" in text
+        assert "(0.25)" in text
+        assert "crx" in text
+
+    def test_draw_truncation(self):
+        text = self.build().draw(max_ops=2)
+        assert "4 more" in text
+
+    def test_repr(self):
+        assert "n_qubits=3" in repr(self.build())

@@ -1,0 +1,113 @@
+"""Unit tests for configuration dataclasses (Table II conformance)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    COMP2_NET,
+    COMP3_NET,
+    SingleHopConfig,
+    TrainingConfig,
+    VQCConfig,
+    replace,
+)
+from repro.nn.layers import count_parameters
+
+
+class TestSingleHopConfig:
+    def test_table2_defaults(self):
+        cfg = SingleHopConfig()
+        assert cfg.n_clouds == 2
+        assert cfg.n_agents == 4
+        assert cfg.packet_amounts == (0.1, 0.2)
+        assert cfg.w_p == 0.3
+        assert cfg.w_r == 4.0
+        assert cfg.cloud_service_rate == 0.3
+        assert cfg.queue_capacity == 1.0
+
+    def test_table1_derived_sizes(self):
+        cfg = SingleHopConfig()
+        assert cfg.n_actions == 4          # |I| * |P| = 2 * 2
+        assert cfg.observation_size == 4   # own q, own q(t-1), 2 clouds
+        assert cfg.state_size == 16        # 4 agents x 4 features
+
+    def test_replace(self):
+        cfg = replace(SingleHopConfig(), episode_limit=10)
+        assert cfg.episode_limit == 10
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SingleHopConfig().n_clouds = 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clouds": 0},
+            {"n_agents": 0},
+            {"packet_amounts": ()},
+            {"packet_amounts": (-0.1,)},
+            {"queue_capacity": 0.0},
+            {"episode_limit": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SingleHopConfig(**kwargs)
+
+
+class TestVQCConfig:
+    def test_table2_defaults(self):
+        cfg = VQCConfig()
+        assert cfg.n_qubits == 4
+        assert cfg.n_variational_gates == 50
+        assert cfg.template == "random"
+        assert cfg.encoding_scale == pytest.approx(np.pi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VQCConfig(n_qubits=0)
+        with pytest.raises(ValueError):
+            VQCConfig(n_variational_gates=0)
+
+
+class TestTrainingConfig:
+    def test_table2_learning_rates(self):
+        cfg = TrainingConfig()
+        assert cfg.actor_lr == 1e-4
+        assert cfg.critic_lr == 1e-5
+        assert cfg.n_epochs == 1000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_epochs": 0},
+            {"episodes_per_epoch": 0},
+            {"gamma": 1.0},
+            {"gamma": -0.1},
+            {"actor_lr": 0.0},
+            {"critic_lr": -1.0},
+            {"target_update_period": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)
+
+
+class TestBaselineShapes:
+    def test_comp2_near_50_parameters(self):
+        cfg = SingleHopConfig()
+        actor = count_parameters(
+            (cfg.observation_size, *COMP2_NET.actor_hidden, cfg.n_actions)
+        )
+        critic = count_parameters((cfg.state_size, *COMP2_NET.critic_hidden, 1))
+        assert 40 <= actor <= 60
+        assert 40 <= critic <= 60
+
+    def test_comp3_over_40k(self):
+        cfg = SingleHopConfig()
+        actor = count_parameters(
+            (cfg.observation_size, *COMP3_NET.actor_hidden, cfg.n_actions)
+        )
+        critic = count_parameters((cfg.state_size, *COMP3_NET.critic_hidden, 1))
+        assert cfg.n_agents * actor + critic > 40_000

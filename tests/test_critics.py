@@ -1,0 +1,95 @@
+"""Unit tests for centralised critics."""
+
+import numpy as np
+import pytest
+
+from repro.marl.critics import ClassicalCentralCritic, QuantumCentralCritic
+from repro.nn.tensor import Tensor
+from repro.quantum.vqc import build_vqc
+
+
+@pytest.fixture
+def critic_vqc():
+    return build_vqc(4, 16, 20, seed=5)
+
+
+class TestQuantumCentralCritic:
+    def test_forward_shape(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng, value_scale=10.0)
+        values = critic(Tensor(rng.uniform(size=(6, 16))))
+        assert values.shape == (6,)
+
+    def test_values_match_forward(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng, value_scale=10.0)
+        states = rng.uniform(size=(4, 16))
+        assert np.allclose(critic.values(states), critic(Tensor(states)).data)
+
+    def test_value_scale_bounds_output(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng, value_scale=10.0)
+        values = critic.values(rng.uniform(size=(8, 16)))
+        assert np.all(np.abs(values) <= 10.0 + 1e-9)
+
+    def test_value_scale_is_linear(self, critic_vqc, rng):
+        small = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(1), value_scale=1.0
+        )
+        large = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(1), value_scale=5.0
+        )
+        states = rng.uniform(size=(3, 16))
+        assert np.allclose(5.0 * small.values(states), large.values(states))
+
+    def test_parameter_budget_fixed_head(self, critic_vqc, rng):
+        """Fixed scale keeps exactly the ansatz budget (Table II's 50)."""
+        critic = QuantumCentralCritic(critic_vqc, rng)
+        assert critic.n_parameters() == 20
+
+    def test_trainable_head_adds_parameters(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng, trainable_head=True)
+        assert critic.n_parameters() == 20 + 4 + 1
+
+    def test_trainable_head_forward(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng, trainable_head=True)
+        states = rng.uniform(size=(3, 16))
+        assert critic(Tensor(states)).shape == (3,)
+        assert np.allclose(critic.values(states), critic(Tensor(states)).data)
+
+    def test_gradients_flow(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng, value_scale=10.0)
+        values = critic(Tensor(rng.uniform(size=(2, 16))))
+        (values * values).sum().backward()
+        assert critic.layer.weights.grad is not None
+
+    def test_1d_state_promoted_in_values(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, rng)
+        assert critic.values(rng.uniform(size=16)).shape == (1,)
+
+
+class TestClassicalCentralCritic:
+    def test_forward_shape(self, rng):
+        critic = ClassicalCentralCritic(16, (8,), rng)
+        assert critic(Tensor(rng.normal(size=(5, 16)))).shape == (5,)
+
+    def test_values_match_forward(self, rng):
+        critic = ClassicalCentralCritic(16, (8,), rng)
+        states = rng.normal(size=(4, 16))
+        assert np.allclose(critic.values(states), critic(Tensor(states)).data)
+
+    def test_comp1_parameter_budget(self, rng):
+        critic = ClassicalCentralCritic(16, (3,), rng)
+        assert critic.n_parameters() == 16 * 3 + 3 + 3 + 1  # 55, near 50
+
+    def test_target_sync_via_state_dict(self, rng):
+        critic = ClassicalCentralCritic(16, (4,), rng)
+        target = ClassicalCentralCritic(16, (4,), np.random.default_rng(99))
+        states = rng.normal(size=(3, 16))
+        assert not np.allclose(critic.values(states), target.values(states))
+        target.load_state_dict(critic.state_dict())
+        assert np.allclose(critic.values(states), target.values(states))
+
+    def test_quantum_target_sync(self, critic_vqc, rng):
+        critic = QuantumCentralCritic(critic_vqc, np.random.default_rng(1))
+        target = QuantumCentralCritic(critic_vqc, np.random.default_rng(2))
+        states = rng.uniform(size=(3, 16))
+        target.load_state_dict(critic.state_dict())
+        assert np.allclose(critic.values(states), target.values(states))

@@ -1,0 +1,133 @@
+"""Unit tests for the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import channels as ch
+from repro.quantum import density as dm
+from repro.quantum import gates
+from repro.quantum import statevector as sv
+from repro.quantum.observables import PauliString
+
+from tests.helpers import random_state
+
+
+class TestConstruction:
+    def test_zero_density(self):
+        rho = dm.zero_density(2, batch_size=3)
+        assert rho.shape == (3, 4, 4)
+        assert np.allclose(dm.traces(rho), 1.0)
+        assert np.allclose(dm.purity(rho), 1.0)
+
+    def test_from_statevector(self, rng):
+        psi = random_state(rng, 2, batch=2)
+        rho = dm.from_statevector(psi)
+        assert np.allclose(dm.traces(rho), 1.0)
+        assert np.allclose(dm.purity(rho), 1.0)
+
+
+class TestUnitaryEvolution:
+    @pytest.mark.parametrize("wires,gate", [
+        ((0,), "h"), ((1,), "x"), ((2,), "y"),
+        ((0, 1), "cnot"), ((2, 0), "cz"), ((1, 2), "swap"),
+    ])
+    def test_matches_statevector(self, rng, wires, gate):
+        psi = random_state(rng, 3, batch=2)
+        rho = dm.from_statevector(psi)
+        psi_out = sv.apply_gate(psi, gate, wires, 3)
+        rho_out = dm.apply_gate(rho, gate, wires, 3)
+        assert np.allclose(rho_out, dm.from_statevector(psi_out), atol=1e-12)
+
+    @pytest.mark.parametrize("wires", [(0,), (1,), (2,)])
+    def test_rotation_matches_statevector(self, rng, wires):
+        psi = random_state(rng, 3)
+        rho = dm.from_statevector(psi)
+        psi_out = sv.apply_gate(psi, "ry", wires, 3, 0.77)
+        rho_out = dm.apply_gate(rho, "ry", wires, 3, 0.77)
+        assert np.allclose(rho_out, dm.from_statevector(psi_out), atol=1e-12)
+
+    def test_batched_angles(self, rng):
+        psi = random_state(rng, 2, batch=3)
+        rho = dm.from_statevector(psi)
+        thetas = np.array([0.2, -0.8, 1.5])
+        rho_out = dm.apply_gate(rho, "rx", (1,), 2, thetas)
+        psi_out = sv.apply_gate(psi, "rx", (1,), 2, thetas)
+        assert np.allclose(rho_out, dm.from_statevector(psi_out), atol=1e-12)
+
+    def test_controlled_rotation_on_swapped_wires(self, rng):
+        psi = random_state(rng, 3)
+        rho = dm.from_statevector(psi)
+        rho_out = dm.apply_gate(rho, "crx", (2, 0), 3, 0.3)
+        psi_out = sv.apply_gate(psi, "crx", (2, 0), 3, 0.3)
+        assert np.allclose(rho_out, dm.from_statevector(psi_out), atol=1e-12)
+
+    def test_trace_preserved(self, rng):
+        psi = random_state(rng, 2, batch=4)
+        rho = dm.from_statevector(psi)
+        rho = dm.apply_gate(rho, "cry", (0, 1), 2, 1.1)
+        assert np.allclose(dm.traces(rho), 1.0)
+
+
+class TestChannels:
+    def test_depolarizing_shrinks_bloch(self):
+        # |0><0| under depolarizing(p): <Z> = 1 - p... for the 3-Pauli form
+        # <Z> -> (1 - 4p/3)<Z> ... verify against the analytic factor.
+        p = 0.3
+        rho = dm.zero_density(1)
+        rho = dm.apply_channel(rho, ch.depolarizing(p), (0,), 1)
+        z = dm.expectation(rho, gates.PAULI_Z)
+        assert np.allclose(z, 1.0 - 4.0 * p / 3.0)
+
+    def test_full_depolarizing_is_maximally_mixed(self):
+        rho = dm.zero_density(1)
+        # p = 3/4 gives the fully contracting channel in the 3-Pauli form.
+        rho = dm.apply_channel(rho, ch.depolarizing(0.75), (0,), 1)
+        assert np.allclose(rho[0], np.eye(2) / 2.0)
+
+    def test_bit_flip_on_basis_state(self):
+        rho = dm.zero_density(1)
+        rho = dm.apply_channel(rho, ch.bit_flip(0.25), (0,), 1)
+        assert np.allclose(dm.probabilities(rho)[0], [0.75, 0.25])
+
+    def test_amplitude_damping_decays_excited_state(self):
+        psi = sv.apply_gate(sv.zero_state(1), "x", (0,), 1)
+        rho = dm.from_statevector(psi)
+        rho = dm.apply_channel(rho, ch.amplitude_damping(0.4), (0,), 1)
+        assert np.allclose(dm.probabilities(rho)[0], [0.4, 0.6])
+
+    def test_phase_damping_kills_coherence(self):
+        psi = sv.apply_gate(sv.zero_state(1), "h", (0,), 1)
+        rho = dm.from_statevector(psi)
+        before = abs(rho[0, 0, 1])
+        rho = dm.apply_channel(rho, ch.phase_damping(0.5), (0,), 1)
+        after = abs(rho[0, 0, 1])
+        assert after < before
+        # Populations untouched by pure dephasing.
+        assert np.allclose(dm.probabilities(rho)[0], [0.5, 0.5])
+
+    def test_channel_preserves_trace_and_reduces_purity(self, rng):
+        psi = random_state(rng, 2, batch=3)
+        rho = dm.from_statevector(psi)
+        rho = dm.apply_channel(rho, ch.depolarizing(0.2), (1,), 2)
+        assert np.allclose(dm.traces(rho), 1.0)
+        assert np.all(dm.purity(rho) < 1.0)
+
+    def test_channel_on_wrong_arity(self):
+        rho = dm.zero_density(2)
+        with pytest.raises(ValueError):
+            dm.apply_channel(rho, ch.depolarizing(0.1), (0, 1), 2)
+
+
+class TestExpectation:
+    def test_expectation_matches_statevector(self, rng):
+        psi = random_state(rng, 3, batch=2)
+        rho = dm.from_statevector(psi)
+        obs = PauliString({0: "X", 2: "Z"})
+        assert np.allclose(
+            dm.expectation(rho, obs.matrix(3)), obs.expectation(psi, 3)
+        )
+
+    def test_probabilities_match_statevector(self, rng):
+        psi = random_state(rng, 2, batch=2)
+        rho = dm.from_statevector(psi)
+        assert np.allclose(dm.probabilities(rho), sv.probabilities(psi))

@@ -1,0 +1,110 @@
+"""Unit tests for the state encoders (the paper's U_enc block)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.encoding import (
+    AngleEncoding,
+    DataReuploadingEncoding,
+    MultiLayerAngleEncoding,
+)
+
+
+class TestAngleEncoding:
+    def test_one_gate_per_qubit(self):
+        circuit = QuantumCircuit(4)
+        encoder = AngleEncoding(4)
+        next_index = encoder.apply(circuit)
+        assert next_index == 4
+        assert circuit.n_operations == 4
+        assert encoder.n_features == 4
+        assert all(op.gate == "rx" for op in circuit.operations)
+        assert [op.wires[0] for op in circuit.operations] == [0, 1, 2, 3]
+
+    def test_rotation_choice(self):
+        circuit = QuantumCircuit(2)
+        AngleEncoding(2, rotation="rz").apply(circuit)
+        assert all(op.gate == "rz" for op in circuit.operations)
+
+    def test_scale_propagates(self):
+        circuit = QuantumCircuit(2)
+        AngleEncoding(2, scale=2.5).apply(circuit)
+        assert all(op.param.scale == 2.5 for op in circuit.operations)
+
+    def test_invalid_rotation(self):
+        with pytest.raises(ValueError):
+            AngleEncoding(2, rotation="h")
+
+    def test_feature_offset(self):
+        circuit = QuantumCircuit(2)
+        next_index = AngleEncoding(2).apply(circuit, feature_offset=5)
+        assert next_index == 7
+        assert [op.param.index for op in circuit.operations] == [5, 6]
+
+
+class TestMultiLayerAngleEncoding:
+    def test_fig1_axis_cycle(self):
+        """The paper's Fig. 1: Rx(s0..3), Ry(s4..7), Rz(s8..11), Rx(s12..15)."""
+        circuit = QuantumCircuit(4)
+        encoder = MultiLayerAngleEncoding(4, 16)
+        next_index = encoder.apply(circuit)
+        assert next_index == 16
+        assert encoder.n_layers == 4
+        gates_per_layer = [
+            {op.gate for op in circuit.operations[i * 4 : (i + 1) * 4]}
+            for i in range(4)
+        ]
+        assert gates_per_layer == [{"rx"}, {"ry"}, {"rz"}, {"rx"}]
+
+    def test_feature_order_matches_fig1(self):
+        circuit = QuantumCircuit(4)
+        MultiLayerAngleEncoding(4, 16).apply(circuit)
+        indices = [op.param.index for op in circuit.operations]
+        assert indices == list(range(16))
+        wires = [op.wires[0] for op in circuit.operations]
+        assert wires == [0, 1, 2, 3] * 4
+
+    def test_single_layer_degenerate(self):
+        circuit = QuantumCircuit(4)
+        encoder = MultiLayerAngleEncoding(4, 4)
+        encoder.apply(circuit)
+        assert encoder.n_layers == 1
+        assert all(op.gate == "rx" for op in circuit.operations)
+
+    def test_partial_final_layer(self):
+        circuit = QuantumCircuit(4)
+        encoder = MultiLayerAngleEncoding(4, 10)
+        next_index = encoder.apply(circuit)
+        assert next_index == 10
+        assert encoder.n_layers == 3
+        # Final (partial) layer: two Rz gates on wires 0 and 1.
+        tail = circuit.operations[8:]
+        assert [op.gate for op in tail] == ["rz", "rz"]
+        assert [op.wires[0] for op in tail] == [0, 1]
+
+    def test_zero_features_rejected(self):
+        with pytest.raises(ValueError):
+            MultiLayerAngleEncoding(4, 0)
+
+    def test_compression_ratio(self):
+        """16 features on 4 qubits: the n(qubit)*n(agent)/4 note of Fig. 2."""
+        encoder = MultiLayerAngleEncoding(4, 16)
+        assert encoder.n_features // encoder.n_qubits == 4
+
+
+class TestDataReuploadingEncoding:
+    def test_reuses_same_features(self):
+        circuit = QuantumCircuit(2)
+        inner = AngleEncoding(2)
+        encoder = DataReuploadingEncoding(inner, n_repeats=3)
+        offset = 0
+        for _ in range(encoder.n_repeats):
+            encoder.apply(circuit, 0)
+        indices = [op.param.index for op in circuit.operations]
+        assert indices == [0, 1, 0, 1, 0, 1]
+        assert encoder.n_features == 2
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            DataReuploadingEncoding(AngleEncoding(2), 0)

@@ -1,0 +1,92 @@
+"""Unit tests for the multi-agent environment API."""
+
+import numpy as np
+import pytest
+
+from repro.envs.base import Discrete, FeatureSpace, MultiAgentEnv, StepResult
+
+
+class TestDiscrete:
+    def test_sample_in_range(self, rng):
+        space = Discrete(4)
+        samples = {space.sample(rng) for _ in range(200)}
+        assert samples == {0, 1, 2, 3}
+
+    def test_contains(self):
+        space = Discrete(3)
+        assert space.contains(0)
+        assert space.contains(np.int64(2))
+        assert not space.contains(3)
+        assert not space.contains(-1)
+        assert not space.contains(1.5)
+
+    def test_equality(self):
+        assert Discrete(3) == Discrete(3)
+        assert Discrete(3) != Discrete(4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+    def test_repr(self):
+        assert repr(Discrete(4)) == "Discrete(4)"
+
+
+class TestFeatureSpace:
+    def test_contains(self):
+        space = FeatureSpace(0.0, 1.0, 3)
+        assert space.contains(np.array([0.0, 0.5, 1.0]))
+        assert not space.contains(np.array([0.0, 0.5]))
+        assert not space.contains(np.array([0.0, 0.5, 1.2]))
+
+    def test_tolerance(self):
+        space = FeatureSpace(0.0, 1.0, 1)
+        assert space.contains(np.array([1.0 + 1e-12]))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            FeatureSpace(1.0, 0.0, 2)
+
+
+class TestStepResult:
+    def test_tuple_unpacking(self):
+        result = StepResult([np.zeros(2)], np.zeros(2), -1.0, False, {"k": 1})
+        obs, state, reward, done, info = result
+        assert reward == -1.0
+        assert not done
+        assert info == {"k": 1}
+
+    def test_attributes(self):
+        result = StepResult([], np.zeros(1), 0, True, {})
+        assert result.done is True
+        assert isinstance(result.reward, float)
+
+
+class TestMultiAgentEnv:
+    class _Stub(MultiAgentEnv):
+        n_agents = 2
+        action_space = Discrete(3)
+        observation_space = FeatureSpace(0, 1, 2)
+        state_size = 4
+
+    def test_validate_actions_count(self):
+        env = self._Stub()
+        with pytest.raises(ValueError, match="expected 2 actions"):
+            env.validate_actions([0])
+
+    def test_validate_actions_range(self):
+        env = self._Stub()
+        with pytest.raises(ValueError, match="agent 1"):
+            env.validate_actions([0, 7])
+
+    def test_derived_properties(self):
+        env = self._Stub()
+        assert env.observation_size == 2
+        assert env.n_actions == 3
+
+    def test_abstract_methods(self):
+        env = self._Stub()
+        with pytest.raises(NotImplementedError):
+            env.reset()
+        with pytest.raises(NotImplementedError):
+            env.step([0, 0])

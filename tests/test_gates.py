@@ -1,0 +1,167 @@
+"""Unit tests for the gate algebra."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.quantum import gates
+
+
+ALL_FIXED = ["i", "x", "y", "z", "h", "s", "t", "cnot", "cz", "swap", "toffoli"]
+ALL_ROTATIONS = ["rx", "ry", "rz", "crx", "cry", "crz"]
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_unitary(self, name):
+        spec = gates.get_gate_spec(name)
+        assert gates.is_unitary(spec.matrix())
+
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_dimension_matches_arity(self, name):
+        spec = gates.get_gate_spec(name)
+        assert spec.matrix().shape == (spec.dim, spec.dim)
+        assert spec.dim == 2**spec.n_qubits
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.PAULI_X @ gates.PAULI_X, np.eye(2))
+        assert np.allclose(gates.PAULI_Y @ gates.PAULI_Y, np.eye(2))
+        assert np.allclose(gates.PAULI_Z @ gates.PAULI_Z, np.eye(2))
+        # XY = iZ cyclic relation
+        assert np.allclose(
+            gates.PAULI_X @ gates.PAULI_Y, 1j * gates.PAULI_Z
+        )
+
+    def test_hadamard_maps_z_to_x(self):
+        h = gates.HADAMARD
+        assert np.allclose(h @ gates.PAULI_Z @ h, gates.PAULI_X)
+
+    def test_cnot_flips_target_when_control_set(self):
+        # |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        out = gates.CNOT @ state
+        assert np.allclose(out, [0, 0, 0, 1])
+
+    def test_cnot_identity_when_control_clear(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(gates.CNOT @ state, state)
+
+    def test_swap_exchanges_basis(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        out = gates.SWAP @ state
+        expected = np.zeros(4)
+        expected[2] = 1.0  # |10>
+        assert np.allclose(out, expected)
+
+    def test_toffoli_truth_table(self):
+        for index in range(8):
+            state = np.zeros(8)
+            state[index] = 1.0
+            out = gates.TOFFOLI @ state
+            expected_index = index ^ 1 if index >= 6 else index
+            assert np.argmax(np.abs(out)) == expected_index
+
+    def test_fixed_gate_rejects_parameter(self):
+        with pytest.raises(ValueError):
+            gates.get_gate_spec("h").matrix(0.3)
+
+
+class TestRotations:
+    @pytest.mark.parametrize("name", ALL_ROTATIONS)
+    @pytest.mark.parametrize("theta", [-2.5, -0.3, 0.0, 0.7, np.pi, 5.9])
+    def test_unitary(self, name, theta):
+        spec = gates.get_gate_spec(name)
+        assert gates.is_unitary(spec.matrix(theta))
+
+    @pytest.mark.parametrize("name", ALL_ROTATIONS)
+    def test_zero_angle_is_identity(self, name):
+        spec = gates.get_gate_spec(name)
+        assert np.allclose(spec.matrix(0.0), np.eye(spec.dim))
+
+    @pytest.mark.parametrize("name", ALL_ROTATIONS)
+    def test_matches_exponential_of_generator(self, name):
+        spec = gates.get_gate_spec(name)
+        theta = 0.83
+        expected = expm(-0.5j * theta * spec.generator)
+        assert np.allclose(spec.matrix(theta), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz"])
+    def test_angle_additivity(self, name):
+        spec = gates.get_gate_spec(name)
+        a, b = 0.4, 1.1
+        assert np.allclose(
+            spec.matrix(a) @ spec.matrix(b), spec.matrix(a + b)
+        )
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz"])
+    def test_full_turn_is_minus_identity(self, name):
+        spec = gates.get_gate_spec(name)
+        assert np.allclose(spec.matrix(2 * np.pi), -np.eye(2), atol=1e-12)
+
+    def test_batched_angles_stack(self):
+        thetas = np.array([0.1, 0.2, 0.3])
+        batched = gates.rx(thetas)
+        assert batched.shape == (3, 2, 2)
+        for i, theta in enumerate(thetas):
+            assert np.allclose(batched[i], gates.rx(theta))
+
+    def test_batched_controlled(self):
+        thetas = np.array([0.5, -0.5])
+        batched = gates.cry(thetas)
+        assert batched.shape == (2, 4, 4)
+        for i, theta in enumerate(thetas):
+            assert np.allclose(batched[i], gates.cry(theta))
+
+    def test_rotation_requires_parameter(self):
+        with pytest.raises(ValueError):
+            gates.get_gate_spec("rx").matrix()
+
+    def test_2d_angles_rejected(self):
+        with pytest.raises(ValueError):
+            gates.rx(np.zeros((2, 2)))
+
+    def test_controlled_block_structure(self):
+        theta = 0.9
+        matrix = gates.crx(theta)
+        assert np.allclose(matrix[:2, :2], np.eye(2))
+        assert np.allclose(matrix[:2, 2:], 0)
+        assert np.allclose(matrix[2:, :2], 0)
+        assert np.allclose(matrix[2:, 2:], gates.rx(theta))
+
+    def test_phase_shift(self):
+        theta = 0.77
+        matrix = gates.phase_shift(theta)
+        assert np.allclose(matrix, np.diag([1.0, np.exp(1j * theta)]))
+
+    def test_rot_composition(self):
+        phi, theta, omega = 0.3, 0.8, -0.4
+        expected = gates.rz(omega) @ gates.ry(theta) @ gates.rz(phi)
+        assert np.allclose(gates.rot(phi, theta, omega), expected)
+
+
+class TestRegistry:
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            gates.get_gate_spec("nope")
+
+    def test_case_insensitive(self):
+        assert gates.get_gate_spec("RX") is gates.get_gate_spec("rx")
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz"])
+    def test_pauli_shift_rule(self, name):
+        assert gates.get_gate_spec(name).shift_rule == "two_term"
+
+    @pytest.mark.parametrize("name", ["crx", "cry", "crz"])
+    def test_controlled_shift_rule(self, name):
+        assert gates.get_gate_spec(name).shift_rule == "four_term"
+
+    def test_generators_hermitian(self):
+        for name in ALL_ROTATIONS:
+            g = gates.get_gate_spec(name).generator
+            assert np.allclose(g, g.conj().T)
+
+    def test_is_unitary_rejects_nonunitary(self):
+        assert not gates.is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))

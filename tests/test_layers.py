@@ -1,0 +1,184 @@
+"""Unit tests for modules, layers and parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    count_parameters,
+    mlp,
+)
+from repro.nn.tensor import Parameter, Tensor
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(3, 5, rng)
+        out = layer(Tensor(np.zeros((2, 3))))
+        assert out.shape == (2, 5)
+
+    def test_affine_computation(self, rng):
+        layer = Linear(2, 2, rng)
+        layer.weight.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias.data = np.array([0.5, -0.5])
+        out = layer(Tensor([[1.0, 1.0]]))
+        assert np.allclose(out.data, [[1.5, 1.5]])
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert layer.n_parameters() == 6
+
+    def test_init_scale(self, rng):
+        layer = Linear(100, 50, rng)
+        bound = 1.0 / np.sqrt(100)
+        assert np.all(np.abs(layer.weight.data) <= bound)
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 1, rng)
+        out = layer(Tensor(rng.normal(size=(4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_repr(self, rng):
+        assert "in=3" in repr(Linear(3, 1, rng))
+
+
+class TestModuleReflection:
+    def make_nested(self, rng):
+        class Inner(Module):
+            def __init__(self):
+                self.fc = Linear(2, 2, rng)
+                self.scale = Parameter(np.ones(1))
+
+            def forward(self, x):
+                return self.fc(x) * self.scale
+
+        class Outer(Module):
+            def __init__(self):
+                self.inner = Inner()
+                self.heads = [Linear(2, 1, rng), Linear(2, 1, rng)]
+
+            def forward(self, x):
+                h = self.inner(x)
+                return self.heads[0](h) + self.heads[1](h)
+
+        return Outer()
+
+    def test_named_parameters_nested(self, rng):
+        model = self.make_nested(rng)
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {
+            "inner.fc.weight",
+            "inner.fc.bias",
+            "inner.scale",
+            "heads.0.weight",
+            "heads.0.bias",
+            "heads.1.weight",
+            "heads.1.bias",
+        }
+
+    def test_n_parameters(self, rng):
+        model = self.make_nested(rng)
+        assert model.n_parameters() == (2 * 2 + 2) + 1 + 2 * (2 + 1)
+
+    def test_zero_grad(self, rng):
+        model = self.make_nested(rng)
+        model(Tensor(np.ones((1, 2)))).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        model = self.make_nested(rng)
+        other = self.make_nested(rng)
+        state = model.state_dict()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            assert np.allclose(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = self.make_nested(rng)
+        state = model.state_dict()
+        state["inner.scale"][0] = 99.0
+        assert model.inner.scale.data[0] != 99.0
+
+    def test_load_state_dict_key_mismatch(self, rng):
+        model = self.make_nested(rng)
+        state = model.state_dict()
+        del state["inner.scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        model = self.make_nested(rng)
+        state = model.state_dict()
+        state["inner.scale"] = np.ones(2)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestActivationsAndSequential:
+    def test_activation_modules(self):
+        x = Tensor([[-1.0, 1.0]])
+        assert np.allclose(Tanh()(x).data, np.tanh(x.data))
+        assert np.allclose(ReLU()(x).data, [[0.0, 1.0]])
+        assert np.allclose(Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)))
+
+    def test_sequential_order(self, rng):
+        seq = Sequential(Linear(2, 2, rng), Tanh(), Linear(2, 1, rng))
+        out = seq(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+
+    def test_sequential_parameters(self, rng):
+        seq = Sequential(Linear(2, 3, rng), Linear(3, 1, rng))
+        assert seq.n_parameters() == (2 * 3 + 3) + (3 + 1)
+
+
+class TestMlp:
+    def test_structure(self, rng):
+        net = mlp((4, 8, 2), rng)
+        kinds = [type(m).__name__ for m in net.modules]
+        assert kinds == ["Linear", "Tanh", "Linear"]
+
+    def test_output_activation(self, rng):
+        net = mlp((4, 2), rng, output_activation="sigmoid")
+        assert type(net.modules[-1]).__name__ == "Sigmoid"
+
+    def test_relu_hidden(self, rng):
+        net = mlp((4, 8, 8, 2), rng, activation="relu")
+        kinds = [type(m).__name__ for m in net.modules]
+        assert kinds == ["Linear", "ReLU", "Linear", "ReLU", "Linear"]
+
+    def test_count_matches(self, rng):
+        sizes = (4, 64, 64, 4)
+        assert mlp(sizes, rng).n_parameters() == count_parameters(sizes)
+
+    def test_count_parameters_comp3(self):
+        """The paper's Comp3 budget: > 40k parameters in total."""
+        total = 4 * count_parameters((4, 64, 64, 4)) + count_parameters(
+            (16, 160, 160, 1)
+        )
+        assert total > 40_000
+
+    def test_too_few_sizes(self, rng):
+        with pytest.raises(ValueError):
+            mlp((4,), rng)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            mlp((4, 2), rng, activation="gelu")
+        with pytest.raises(ValueError):
+            mlp((4, 2), rng, output_activation="gelu")

@@ -1,0 +1,103 @@
+"""Unit tests for the MAPG loss components."""
+
+import numpy as np
+import pytest
+
+from repro.marl.mapg import (
+    actor_loss,
+    critic_loss,
+    entropy_bonus,
+    td_errors,
+    td_targets,
+)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestTdTargets:
+    def test_bootstraps_next_value(self):
+        targets = td_targets(
+            rewards=[1.0, 2.0],
+            next_values=[10.0, 20.0],
+            dones=[False, False],
+            gamma=0.9,
+        )
+        assert np.allclose(targets, [10.0, 20.0])
+
+    def test_terminal_masks_bootstrap(self):
+        targets = td_targets(
+            rewards=[1.0, 2.0],
+            next_values=[10.0, 20.0],
+            dones=[False, True],
+            gamma=0.9,
+        )
+        assert np.allclose(targets, [10.0, 2.0])
+
+    def test_gamma_zero_is_reward(self):
+        targets = td_targets([3.0], [99.0], [False], 0.0)
+        assert np.allclose(targets, [3.0])
+
+    def test_td_errors(self):
+        errors = td_errors([5.0, 1.0], [4.0, 3.0])
+        assert np.allclose(errors, [1.0, -2.0])
+
+
+class TestActorLoss:
+    def test_value(self):
+        log_probs = Tensor(np.log(np.array([[0.5, 0.5], [0.25, 0.75]])))
+        loss = actor_loss(log_probs, [0, 1], [1.0, 2.0])
+        expected = -np.mean([1.0 * np.log(0.5), 2.0 * np.log(0.75)])
+        assert loss.item() == pytest.approx(expected)
+
+    def test_gradient_direction(self):
+        """Positive advantage must push probability of the taken action up."""
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        log_probs = F.log_softmax(logits)
+        loss = actor_loss(log_probs, [0], [1.0])
+        loss.backward()
+        # Decreasing loss means increasing logit 0 relative to logit 1.
+        assert logits.grad[0, 0] < 0
+        assert logits.grad[0, 1] > 0
+
+    def test_negative_advantage_flips_direction(self):
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        loss = actor_loss(F.log_softmax(logits), [0], [-1.0])
+        loss.backward()
+        assert logits.grad[0, 0] > 0
+
+    def test_advantages_are_constants(self):
+        """No gradient may flow through the advantage signal."""
+        log_probs = Tensor(np.log(np.full((2, 2), 0.5)), requires_grad=True)
+        loss = actor_loss(log_probs, [0, 1], np.array([1.0, -1.0]))
+        loss.backward()
+        assert log_probs.grad is not None
+
+
+class TestCriticLoss:
+    def test_mse_form(self):
+        values = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = critic_loss(values, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx((1.0 + 4.0) / 2.0)
+
+    def test_gradient_toward_target(self):
+        values = Tensor(np.array([1.0]), requires_grad=True)
+        critic_loss(values, np.array([3.0])).backward()
+        assert values.grad[0] < 0  # move value up toward the target
+
+
+class TestEntropyBonus:
+    def test_uniform_is_maximal(self):
+        uniform = Tensor(np.full((1, 4), 0.25))
+        peaked = Tensor(np.array([[0.97, 0.01, 0.01, 0.01]]))
+        assert entropy_bonus(uniform).item() > entropy_bonus(peaked).item()
+
+    def test_uniform_value(self):
+        uniform = Tensor(np.full((1, 4), 0.25))
+        assert entropy_bonus(uniform).item() == pytest.approx(np.log(4), abs=1e-6)
+
+    def test_differentiable(self):
+        logits = Tensor(np.array([[2.0, 0.0]]), requires_grad=True)
+        probs = F.softmax(logits)
+        entropy_bonus(probs).backward()
+        # Maximising entropy should pull the large logit down.
+        assert logits.grad[0, 0] < 0

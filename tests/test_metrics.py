@@ -1,0 +1,110 @@
+"""Unit tests for metrics and the achievability score."""
+
+import numpy as np
+import pytest
+
+from repro.marl.metrics import (
+    MetricsHistory,
+    achievability,
+    exponential_moving_average,
+    rolling_mean,
+)
+
+
+class TestAchievability:
+    def test_paper_numbers(self):
+        """Section IV-D(1): the published rewards give the published scores."""
+        random_walk = -33.2
+        assert achievability(-3.0, random_walk) == pytest.approx(0.909, abs=0.001)
+        assert achievability(-16.6, random_walk) == pytest.approx(0.50, abs=0.005)
+        assert achievability(-22.5, random_walk) == pytest.approx(0.322, abs=0.001)
+        assert achievability(-2.8, random_walk) == pytest.approx(0.915, abs=0.001)
+
+    def test_boundary_values(self):
+        assert achievability(-10.0, -10.0) == 0.0
+        assert achievability(0.0, -10.0) == 1.0
+
+    def test_worse_than_random_is_negative(self):
+        assert achievability(-20.0, -10.0) < 0.0
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            achievability(-1.0, 5.0)
+
+
+class TestSmoothing:
+    def test_ema_constant_series(self):
+        series = np.full(10, 3.0)
+        assert np.allclose(exponential_moving_average(series), 3.0)
+
+    def test_ema_tracks_trend(self):
+        series = np.arange(50.0)
+        smoothed = exponential_moving_average(series, alpha=0.5)
+        assert np.all(np.diff(smoothed) > 0)
+        assert smoothed[-1] < series[-1]  # lags behind
+
+    def test_ema_alpha_one_is_identity(self):
+        series = np.array([1.0, 5.0, 2.0])
+        assert np.allclose(exponential_moving_average(series, alpha=1.0), series)
+
+    def test_ema_validation(self):
+        with pytest.raises(ValueError):
+            exponential_moving_average(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            exponential_moving_average(np.zeros(3), alpha=0.0)
+
+    def test_rolling_mean(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        out = rolling_mean(series, window=2)
+        assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_rolling_mean_window_one(self):
+        series = np.array([1.0, 2.0])
+        assert np.allclose(rolling_mean(series, 1), series)
+
+    def test_rolling_mean_validation(self):
+        with pytest.raises(ValueError):
+            rolling_mean(np.zeros(3), 0)
+
+
+class TestMetricsHistory:
+    def make_history(self):
+        history = MetricsHistory()
+        for epoch in range(5):
+            history.append({"epoch": epoch, "total_reward": -10.0 + epoch})
+        return history
+
+    def test_series(self):
+        history = self.make_history()
+        assert np.allclose(history.series("total_reward"), [-10, -9, -8, -7, -6])
+
+    def test_last_window(self):
+        history = self.make_history()
+        assert history.last("total_reward") == -6.0
+        assert history.last("total_reward", window=2) == -6.5
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            MetricsHistory().last("total_reward")
+
+    def test_smoothed(self):
+        history = self.make_history()
+        smoothed = history.smoothed("total_reward", alpha=1.0)
+        assert np.allclose(smoothed, history.series("total_reward"))
+
+    def test_keys_and_to_dict(self):
+        history = self.make_history()
+        assert set(history.keys()) == {"epoch", "total_reward"}
+        as_dict = history.to_dict()
+        assert as_dict["epoch"] == [0, 1, 2, 3, 4]
+
+    def test_records_are_copies(self):
+        history = MetricsHistory()
+        record = {"a": 1}
+        history.append(record)
+        record["a"] = 2
+        assert history.records[0]["a"] == 1
+
+    def test_len(self):
+        assert len(self.make_history()) == 5
+        assert MetricsHistory().keys() == []

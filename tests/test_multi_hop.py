@@ -1,0 +1,188 @@
+"""Unit tests for the multi-hop offloading extension."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
+
+
+class TestLayeredTopology:
+    def test_full_mesh_edge_count(self):
+        graph = layered_topology((4, 3, 2))
+        assert graph.number_of_nodes() == 9
+        assert graph.number_of_edges() == 4 * 3 + 3 * 2
+
+    def test_thin_chain(self):
+        graph = layered_topology((4, 2), full_mesh=False)
+        assert graph.number_of_edges() == 4
+        assert set(graph.successors("L0/0")) == {"L1/0"}
+        assert set(graph.successors("L0/1")) == {"L1/1"}
+
+    def test_layer_attributes(self):
+        graph = layered_topology((2, 2))
+        layers = nx.get_node_attributes(graph, "layer")
+        assert layers["L0/0"] == 0
+        assert layers["L1/1"] == 1
+
+    def test_is_dag(self):
+        assert nx.is_directed_acyclic_graph(layered_topology((3, 2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layered_topology((4,))
+        with pytest.raises(ValueError):
+            layered_topology((4, 0))
+
+
+def make_env(layer_sizes=(4, 2), seed=0, **kwargs):
+    return MultiHopOffloadEnv(
+        layered_topology(layer_sizes),
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestSingleHopSpecialCase:
+    """With layers (N, K) the multi-hop env reduces to the paper's setting."""
+
+    def test_spaces_match_single_hop(self):
+        env = make_env((4, 2))
+        assert env.n_agents == 4
+        assert env.action_space.n == 4  # 2 successors x 2 amounts
+        assert env.observation_space.size == 4
+        assert env.state_size == 16
+
+    def test_reward_nonpositive(self):
+        env = make_env((4, 2))
+        rng = np.random.default_rng(1)
+        env.reset()
+        for _ in range(30):
+            result = env.step([env.action_space.sample(rng) for _ in range(4)])
+            assert result.reward <= 0.0
+            if result.done:
+                env.reset()
+
+
+class TestThreeLayer:
+    def test_relay_topology_runs(self):
+        env = make_env((4, 3, 2), episode_limit=10)
+        observations, state = env.reset()
+        assert len(observations) == 4
+        assert observations[0].shape == (2 + 3,)  # own x2 + 3 relays
+        done = False
+        rng = np.random.default_rng(2)
+        steps = 0
+        while not done:
+            result = env.step(
+                [env.action_space.sample(rng) for _ in range(4)]
+            )
+            done = result.done
+            steps += 1
+        assert steps == 10
+
+    def test_queue_levels_bounded(self):
+        env = make_env((3, 2, 2), episode_limit=40)
+        rng = np.random.default_rng(3)
+        env.reset()
+        for _ in range(40):
+            result = env.step([env.action_space.sample(rng) for _ in range(3)])
+            assert np.all(result.info["agent_levels"] >= 0)
+            assert np.all(result.info["agent_levels"] <= 1.0)
+            assert np.all(result.info["network_levels"] >= 0)
+            assert np.all(result.info["network_levels"] <= 1.0)
+
+    def test_relays_forward_packets(self):
+        """With no agent traffic, relays still drain into sinks."""
+        env = make_env((2, 2, 1), episode_limit=5, w_p=0.0)
+        env.reset()
+        sink_before = env._network_queues.levels[env._network_index["L2/0"]]
+        # Send minimal packets to relay 0 only.
+        result = env.step([0, 0])
+        # The sink received forwarded volume from both relays (0.3 each),
+        # minus its own service 0.3: net +0.3 from 0.5 -> 0.8.
+        sink_after = result.info["network_levels"][env._network_index["L2/0"]]
+        assert sink_after == pytest.approx(sink_before + 0.3)
+
+    def test_state_is_concatenation(self):
+        env = make_env((3, 2, 2))
+        observations, state = env.reset()
+        assert np.allclose(state, np.concatenate(observations))
+
+
+class TestValidation:
+    def test_rejects_cycle(self):
+        graph = layered_topology((2, 2))
+        graph.add_edge("L1/0", "L0/0")
+        with pytest.raises(ValueError, match="DAG"):
+            MultiHopOffloadEnv(graph)
+
+    def test_rejects_missing_layers(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError, match="layer"):
+            MultiHopOffloadEnv(graph)
+
+    def test_rejects_mixed_out_degree(self):
+        graph = layered_topology((2, 2))
+        graph.remove_edge("L0/0", "L1/1")
+        with pytest.raises(ValueError, match="out-degree"):
+            MultiHopOffloadEnv(graph)
+
+    def test_rejects_isolated_agent(self):
+        graph = layered_topology((2, 2))
+        graph.remove_edge("L0/0", "L1/0")
+        graph.remove_edge("L0/0", "L1/1")
+        with pytest.raises(ValueError):
+            MultiHopOffloadEnv(graph)
+
+    def test_action_validation(self):
+        env = make_env((2, 2))
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step([0])
+        with pytest.raises(ValueError):
+            env.step([0, 99])
+
+    def test_repr(self):
+        assert "layers=4-2" in repr(make_env((4, 2)))
+
+
+class TestTrainingIntegration:
+    def test_quantum_actors_train_on_multi_hop(self):
+        """The CTDE stack is environment-agnostic: train on a 3-layer net."""
+        from repro.config import TrainingConfig
+        from repro.marl.actors import QuantumActor, QuantumActorGroup
+        from repro.marl.critics import QuantumCentralCritic
+        from repro.marl.trainer import CTDETrainer
+        from repro.quantum.vqc import build_vqc
+
+        env = make_env((2, 2, 2), episode_limit=6)
+        rng = np.random.default_rng(5)
+        actor_vqc = build_vqc(
+            4, env.observation_space.size, 12, seed=1
+        )
+        actors = QuantumActorGroup(
+            [
+                QuantumActor(actor_vqc, np.random.default_rng(i))
+                for i in range(env.n_agents)
+            ]
+        )
+        critic_vqc = build_vqc(4, env.state_size, 12, seed=2)
+        critic = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(8), value_scale=10.0
+        )
+        target = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(9), value_scale=10.0
+        )
+        trainer = CTDETrainer(
+            env,
+            actors,
+            critic,
+            target,
+            TrainingConfig(episodes_per_epoch=1, actor_lr=1e-3, critic_lr=1e-3),
+            rng,
+        )
+        record = trainer.train_epoch()
+        assert np.isfinite(record["critic_loss"])
+        assert np.isfinite(record["actor_loss"])

@@ -1,0 +1,120 @@
+"""Unit tests for Pauli-string and Hamiltonian observables."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import statevector as sv
+from repro.quantum.observables import (
+    Hamiltonian,
+    PauliString,
+    all_z_observables,
+    expectation,
+)
+
+from tests.helpers import random_state
+
+
+class TestPauliString:
+    def test_identity(self):
+        obs = PauliString()
+        assert obs.is_identity()
+        psi = sv.zero_state(2)
+        assert np.allclose(obs.expectation(psi, 2), 1.0)
+
+    def test_explicit_identity_factor_dropped(self):
+        obs = PauliString({0: "I", 1: "Z"})
+        assert obs.wires == (1,)
+
+    def test_z_constructor(self):
+        assert PauliString.z(2).terms == {2: "Z"}
+
+    def test_expectation_matches_matrix(self, rng):
+        psi = random_state(rng, 3, batch=4)
+        obs = PauliString({0: "X", 2: "Y"})
+        via_apply = obs.expectation(psi, 3)
+        matrix = obs.matrix(3)
+        via_matrix = np.real(
+            np.einsum("bi,ij,bj->b", np.conjugate(psi), matrix, psi)
+        )
+        assert np.allclose(via_apply, via_matrix)
+
+    def test_matrix_of_z0(self):
+        assert np.allclose(PauliString.z(0).matrix(2), np.diag([1, 1, -1, -1]))
+
+    def test_matrix_of_z1(self):
+        assert np.allclose(PauliString.z(1).matrix(2), np.diag([1, -1, 1, -1]))
+
+    def test_expectation_is_real_and_bounded(self, rng):
+        psi = random_state(rng, 3, batch=8)
+        obs = PauliString({0: "X", 1: "Z", 2: "Y"})
+        values = obs.expectation(psi, 3)
+        assert values.dtype.kind == "f"
+        assert np.all(np.abs(values) <= 1.0 + 1e-9)
+
+    def test_duplicate_wire_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString([(0, "X"), (0, "Z")])
+
+    def test_unknown_pauli_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString({0: "Q"})
+
+    def test_equality_and_hash(self):
+        a = PauliString({1: "X", 0: "Z"})
+        b = PauliString([(0, "Z"), (1, "X")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != PauliString({0: "Z"})
+
+    def test_repr(self):
+        assert "Z0" in repr(PauliString.z(0))
+        assert "I" in repr(PauliString())
+
+
+class TestHamiltonian:
+    def test_expectation_linear_combination(self, rng):
+        psi = random_state(rng, 2, batch=3)
+        z0, z1 = PauliString.z(0), PauliString.z(1)
+        ham = Hamiltonian([0.5, -2.0], [z0, z1])
+        expected = 0.5 * z0.expectation(psi, 2) - 2.0 * z1.expectation(psi, 2)
+        assert np.allclose(ham.expectation(psi, 2), expected)
+
+    def test_batched_coefficients(self, rng):
+        psi = random_state(rng, 2, batch=3)
+        z0, z1 = PauliString.z(0), PauliString.z(1)
+        coeffs = rng.normal(size=(3, 2))
+        ham = Hamiltonian(coeffs, [z0, z1])
+        assert ham.batched
+        expected = coeffs[:, 0] * z0.expectation(psi, 2) + coeffs[
+            :, 1
+        ] * z1.expectation(psi, 2)
+        assert np.allclose(ham.expectation(psi, 2), expected)
+
+    def test_matrix(self):
+        ham = Hamiltonian([1.0, 1.0], [PauliString.z(0), PauliString.z(1)])
+        assert np.allclose(ham.matrix(2), np.diag([2, 0, 0, -2]))
+
+    def test_batched_matrix_raises(self):
+        ham = Hamiltonian(np.ones((2, 1)), [PauliString.z(0)])
+        with pytest.raises(ValueError):
+            ham.matrix(1)
+
+    def test_coefficient_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Hamiltonian([1.0, 2.0], [PauliString.z(0)])
+
+    def test_bad_coefficient_ndim(self):
+        with pytest.raises(ValueError):
+            Hamiltonian(np.ones((1, 1, 1)), [PauliString.z(0)])
+
+
+class TestHelpers:
+    def test_all_z_observables(self):
+        obs = all_z_observables(3)
+        assert [o.terms for o in obs] == [{0: "Z"}, {1: "Z"}, {2: "Z"}]
+
+    def test_expectation_stacking(self, rng):
+        psi = random_state(rng, 2, batch=5)
+        stacked = expectation(psi, all_z_observables(2), 2)
+        assert stacked.shape == (5, 2)
+        assert np.allclose(stacked[:, 0], sv.expectation_pauli_z(psi, 0, 2))

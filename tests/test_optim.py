@@ -1,0 +1,125 @@
+"""Unit tests for the optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.tensor import Parameter
+
+
+def quadratic_step(optimizer, param, target):
+    """One gradient step on ||p - target||^2."""
+    optimizer.zero_grad()
+    diff = param - target
+    (diff * diff).sum().backward()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def distance_after(momentum, steps=25):
+            param = Parameter(np.array([10.0]))
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(steps):
+                quadratic_step(opt, param, np.array([0.0]))
+            return abs(param.data[0])
+
+        assert distance_after(0.9) < distance_after(0.0)
+
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(1)), Parameter(np.ones(1))
+        opt = SGD([a, b], lr=0.1)
+        (a * 2).sum().backward()
+        opt.step()
+        assert a.data[0] != 1.0
+        assert b.data[0] == 1.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            quadratic_step(opt, param, target)
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr in magnitude.
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.05)
+        quadratic_step(opt, param, np.array([0.0]))
+        assert abs(1.0 - param.data[0]) == pytest.approx(0.05, rel=1e-3)
+
+    def test_scale_invariance(self):
+        # Adam's normalised steps should be nearly identical for scaled losses.
+        def run(scale):
+            param = Parameter(np.array([4.0]))
+            opt = Adam([param], lr=0.1)
+            for _ in range(10):
+                opt.zero_grad()
+                ((param * param).sum() * scale).backward()
+                opt.step()
+            return param.data[0]
+
+        assert run(1.0) == pytest.approx(run(100.0), abs=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(2))
+        opt = Adam([param], lr=0.1)
+        (param * 2).sum().backward()
+        opt.zero_grad()
+        assert param.grad is None
+
+
+class TestOptimizerBase:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=2.5)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(2.5)
+
+    def test_handles_missing_grads(self):
+        assert clip_grad_norm([Parameter(np.zeros(1))], 1.0) == 0.0

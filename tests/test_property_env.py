@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the environment substrate.
+
+Invariants from the paper's MDP definition:
+
+- queue levels always stay inside [0, q_max] (the clip dynamics);
+- the Eq. (1) reward is never positive;
+- observations always lie in the declared observation space and the state
+  is always their concatenation;
+- in conserve_packets mode, packet mass entering clouds never exceeds the
+  mass that left the edges.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SingleHopConfig
+from repro.envs.queues import QueueBank
+from repro.envs.single_hop import SingleHopOffloadEnv
+
+MAX_EXAMPLES = 20
+
+
+env_configs = st.builds(
+    SingleHopConfig,
+    n_clouds=st.integers(1, 3),
+    n_agents=st.integers(1, 5),
+    packet_amounts=st.sampled_from([(0.1, 0.2), (0.05,), (0.1, 0.2, 0.3)]),
+    w_r=st.floats(0.5, 8.0),
+    cloud_service_rate=st.floats(0.0, 0.6),
+    episode_limit=st.integers(1, 12),
+    initial_queue_level=st.floats(0.0, 1.0),
+    conserve_packets=st.booleans(),
+)
+
+
+def run_episode(config, seed):
+    rng = np.random.default_rng(seed)
+    env = SingleHopOffloadEnv(config, rng=np.random.default_rng(seed + 1))
+    observations, state = env.reset()
+    records = []
+    done = False
+    while not done:
+        actions = [env.action_space.sample(rng) for _ in range(env.n_agents)]
+        result = env.step(actions)
+        records.append(result)
+        observations, done = result.observations, result.done
+    return env, records
+
+
+class TestEnvironmentInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(config=env_configs, seed=st.integers(0, 100_000))
+    def test_queues_bounded(self, config, seed):
+        env, records = run_episode(config, seed)
+        cap = config.queue_capacity
+        for result in records:
+            assert np.all(result.info["edge_levels"] >= -1e-12)
+            assert np.all(result.info["edge_levels"] <= cap + 1e-12)
+            assert np.all(result.info["cloud_levels"] >= -1e-12)
+            assert np.all(result.info["cloud_levels"] <= cap + 1e-12)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(config=env_configs, seed=st.integers(0, 100_000))
+    def test_reward_nonpositive(self, config, seed):
+        _, records = run_episode(config, seed)
+        assert all(result.reward <= 1e-12 for result in records)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(config=env_configs, seed=st.integers(0, 100_000))
+    def test_observations_in_space_and_state_consistent(self, config, seed):
+        env, records = run_episode(config, seed)
+        for result in records:
+            for obs in result.observations:
+                assert env.observation_space.contains(obs)
+            assert np.allclose(result.state, np.concatenate(result.observations))
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(config=env_configs, seed=st.integers(0, 100_000))
+    def test_episode_length_respected(self, config, seed):
+        _, records = run_episode(config, seed)
+        assert len(records) == config.episode_limit
+        assert records[-1].done
+        assert not any(r.done for r in records[:-1])
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        config=env_configs.filter(lambda c: c.conserve_packets),
+        seed=st.integers(0, 100_000),
+    )
+    def test_conservation_in_conserve_mode(self, config, seed):
+        """Edges cannot ship more than they hold."""
+        env, records = run_episode(config, seed)
+        for result in records:
+            assert np.all(
+                result.info["sent"] <= max(config.packet_amounts) + 1e-12
+            )
+
+
+class TestQueueBankProperties:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        n=st.integers(1, 6),
+        flows=st.lists(
+            st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_levels_invariant_under_any_flow_sequence(self, n, flows):
+        bank = QueueBank(n, 1.0, initial_level=0.5)
+        bank.reset()
+        for outflow, inflow in flows:
+            update = bank.step(outflow, inflow)
+            assert np.all(bank.levels >= 0.0)
+            assert np.all(bank.levels <= 1.0)
+            # Level change is bounded by the flow volumes.
+            delta = np.abs(update.levels - update.previous)
+            assert np.all(delta <= outflow + inflow + 1e-12)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        raw=st.floats(-2.0, 3.0),
+        previous=st.floats(0.0, 1.0),
+    )
+    def test_update_event_flags_partition(self, raw, previous):
+        from repro.envs.queues import QueueUpdate
+
+        update = QueueUpdate(np.array([previous]), np.array([raw]), 1.0)
+        if update.empty[0]:
+            assert raw <= 1e-10
+        if update.overflow[0]:
+            assert raw >= 1.0 - 1e-10
+        # q_tilde and q_hat match Eq. (1)'s definitions.
+        assert update.q_tilde[0] == abs(raw)
+        assert update.q_hat[0] == abs(1.0 - abs(raw))

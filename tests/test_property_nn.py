@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the autodiff engine.
+
+The central invariant: for any composition of supported operations, the
+autodiff gradient equals the central-difference numerical gradient.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.helpers import numeric_gradient
+
+MAX_EXAMPLES = 20
+
+small_floats = st.floats(-2.0, 2.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=small_floats)
+
+
+def assert_grad_matches(build_loss, array, atol=1e-5):
+    x = Tensor(array.copy(), requires_grad=True)
+    build_loss(x).backward()
+    numeric = numeric_gradient(lambda a: build_loss(Tensor(a)).item(), array)
+    assert np.allclose(x.grad, numeric, atol=atol)
+
+
+class TestElementwiseChains:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((3, 2)))
+    def test_polynomial_chain(self, array):
+        assert_grad_matches(
+            lambda x: ((x * x - x * 0.5 + 1.0) * 2.0).sum(), array
+        )
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((4,)))
+    def test_tanh_sigmoid_chain(self, array):
+        assert_grad_matches(
+            lambda x: F.sigmoid(F.tanh(x) * 2.0).sum(), array
+        )
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((2, 3)))
+    def test_exp_normalised(self, array):
+        assert_grad_matches(
+            lambda x: (F.exp(x * 0.5) / 10.0).mean(), array
+        )
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((2, 4)))
+    def test_softmax_weighted(self, array):
+        weights = np.arange(8.0).reshape(2, 4)
+        assert_grad_matches(
+            lambda x: (F.softmax(x) * weights).sum(), array
+        )
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((2, 4)))
+    def test_log_softmax_gather(self, array):
+        indices = np.array([1, 3])
+        assert_grad_matches(
+            lambda x: F.gather(F.log_softmax(x), indices).sum(), array
+        )
+
+
+class TestBroadcastingGradients:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(a=arrays((3, 4)), b=arrays((4,)))
+    def test_row_broadcast(self, a, b):
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        ((ta * tb) + tb).sum().backward()
+        numeric_b = numeric_gradient(
+            lambda arr: float(((a * arr) + arr).sum()), b
+        )
+        assert np.allclose(tb.grad, numeric_b, atol=1e-5)
+        assert ta.grad.shape == a.shape
+        assert tb.grad.shape == b.shape
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(a=arrays((3, 1)), b=arrays((1, 4)))
+    def test_outer_broadcast(self, a, b):
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        (ta + tb).sum().backward()
+        assert np.allclose(ta.grad, np.full((3, 1), 4.0))
+        assert np.allclose(tb.grad, np.full((1, 4), 3.0))
+
+
+class TestMatmulChains:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(a=arrays((3, 2)), b=arrays((2, 3)))
+    def test_matmul_square_loss(self, a, b):
+        ta = Tensor(a.copy(), requires_grad=True)
+        ((ta @ b) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda arr: float(((arr @ b) ** 2).sum()), a
+        )
+        assert np.allclose(ta.grad, numeric, atol=1e-4)
+
+
+class TestInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((5,)))
+    def test_softmax_is_distribution(self, array):
+        probs = F.softmax(Tensor(array)).data
+        assert np.all(probs >= 0)
+        assert probs.sum() == np.float64(1.0) or abs(probs.sum() - 1.0) < 1e-9
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((3, 4)))
+    def test_mse_nonnegative_and_zero_at_target(self, array):
+        assert F.mse_loss(Tensor(array), array).item() <= 1e-15
+        assert F.mse_loss(Tensor(array), array + 1.0).item() > 0.0
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(array=arrays((6,)))
+    def test_grad_accumulation_linear(self, array):
+        """backward() twice accumulates exactly twice the gradient."""
+        x = Tensor(array.copy(), requires_grad=True)
+        (x * 3.0).sum().backward()
+        once = x.grad.copy()
+        (x * 3.0).sum().backward()
+        assert np.allclose(x.grad, 2.0 * once)

@@ -1,0 +1,155 @@
+"""Unit tests for the hybrid quantum-classical layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Module
+from repro.nn.optim import Adam
+from repro.nn.quantum_layer import QuantumLayer
+from repro.nn.tensor import Tensor
+from repro.quantum.backends import DensityMatrixBackend, StatevectorBackend
+from repro.quantum.channels import NoiseModel
+from repro.quantum.vqc import build_vqc
+
+from tests.helpers import numeric_gradient
+
+
+@pytest.fixture
+def layer(rng):
+    vqc = build_vqc(3, 3, 10, seed=2)
+    return QuantumLayer(vqc, rng)
+
+
+class TestForward:
+    def test_output_shape_and_range(self, layer, rng):
+        out = layer(Tensor(rng.uniform(size=(4, 3))))
+        assert out.shape == (4, 3)
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-12)
+
+    def test_rejects_1d_input(self, layer):
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros(3)))
+
+    def test_rejects_wrong_feature_count(self, layer):
+        with pytest.raises(ValueError):
+            layer(Tensor(np.zeros((2, 5))))
+
+    def test_parameter_count(self, layer):
+        assert layer.n_parameters() == 10
+
+    def test_repr(self, layer):
+        assert "adjoint" in repr(layer)
+
+
+class TestBackward:
+    def test_weight_gradient_matches_numeric(self, layer, rng):
+        x = rng.uniform(size=(3, 3))
+
+        def loss_for_weights(weights):
+            vqc = layer.vqc
+            out = StatevectorBackend().run(vqc.circuit, vqc.observables, x, weights)
+            return float((out**2).sum())
+
+        out = layer(Tensor(x))
+        (out * out).sum().backward()
+        numeric = numeric_gradient(loss_for_weights, layer.weights.data.copy())
+        assert np.allclose(layer.weights.grad, numeric, atol=1e-6)
+
+    def test_input_gradient_matches_numeric(self, layer, rng):
+        x_data = rng.uniform(size=(2, 3))
+        x = Tensor(x_data, requires_grad=True)
+        out = layer(x)
+        (out * out).sum().backward()
+
+        def loss_for_inputs(inputs):
+            vqc = layer.vqc
+            out = StatevectorBackend().run(
+                vqc.circuit, vqc.observables, inputs, layer.weights.data
+            )
+            return float((out**2).sum())
+
+        numeric = numeric_gradient(loss_for_inputs, x_data.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-6)
+
+    def test_gradient_methods_agree(self, rng):
+        vqc = build_vqc(2, 2, 6, seed=3)
+        x = rng.uniform(size=(2, 2))
+        grads = {}
+        for method in ("adjoint", "parameter_shift"):
+            layer = QuantumLayer(
+                vqc, np.random.default_rng(0), gradient_method=method
+            )
+            out = layer(Tensor(x))
+            (out * out).sum().backward()
+            grads[method] = layer.weights.grad
+        assert np.allclose(grads["adjoint"], grads["parameter_shift"], atol=1e-9)
+
+    def test_trains_toward_target(self, rng):
+        """A tiny supervised fit: the layer must reduce loss by training."""
+        vqc = build_vqc(2, 2, 8, seed=4)
+        layer = QuantumLayer(vqc, rng)
+        x = rng.uniform(size=(6, 2))
+        target = np.full((6, 2), 0.4)
+        opt = Adam(layer.parameters(), lr=0.1)
+        first_loss = None
+        for _ in range(30):
+            out = layer(Tensor(x))
+            diff = out - target
+            loss = (diff * diff).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.5
+
+
+class TestBackendValidation:
+    def test_adjoint_rejects_density_backend(self, rng):
+        vqc = build_vqc(2, 2, 4, seed=1)
+        with pytest.raises(ValueError):
+            QuantumLayer(vqc, rng, backend=DensityMatrixBackend())
+
+    def test_adjoint_rejects_shots(self, rng):
+        vqc = build_vqc(2, 2, 4, seed=1)
+        with pytest.raises(ValueError):
+            QuantumLayer(vqc, rng, backend=StatevectorBackend(shots=16))
+
+    def test_parameter_shift_with_noise_trains(self, rng):
+        vqc = build_vqc(2, 2, 4, seed=1)
+        layer = QuantumLayer(
+            vqc,
+            rng,
+            backend=DensityMatrixBackend(NoiseModel(0.01)),
+            gradient_method="parameter_shift",
+        )
+        out = layer(Tensor(rng.uniform(size=(2, 2))))
+        out.sum().backward()
+        assert layer.weights.grad is not None
+        assert np.isfinite(layer.weights.grad).all()
+
+
+class TestModuleIntegration:
+    def test_discovered_inside_module(self, rng):
+        vqc = build_vqc(2, 2, 5, seed=6)
+
+        class Hybrid(Module):
+            def __init__(self):
+                self.q = QuantumLayer(vqc, rng)
+                self.head = Linear(2, 1, rng)
+
+            def forward(self, x):
+                return self.head(self.q(x))
+
+        model = Hybrid()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {"q.weights", "head.weight", "head.bias"}
+        assert model.n_parameters() == 5 + 2 + 1
+
+    def test_state_dict_roundtrip(self, rng):
+        vqc = build_vqc(2, 2, 5, seed=6)
+        a = QuantumLayer(vqc, np.random.default_rng(1))
+        b = QuantumLayer(vqc, np.random.default_rng(2))
+        assert not np.allclose(a.weights.data, b.weights.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weights.data, b.weights.data)

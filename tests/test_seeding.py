@@ -1,0 +1,59 @@
+"""Unit tests for seed management."""
+
+import numpy as np
+import pytest
+
+from repro.seeding import SeedSequenceFactory, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(5).normal() == make_rng(5).normal()
+
+    def test_entropy_when_unseeded(self):
+        # Two unseeded generators should (overwhelmingly) differ.
+        assert make_rng().normal() != make_rng().normal()
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.allclose(a.normal(size=8), b.normal(size=8))
+
+    def test_reproducible(self):
+        first = [g.normal() for g in spawn_rngs(7, 3)]
+        second = [g.normal() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.rng("env").normal() == factory.rng("env").normal()
+
+    def test_different_names_different_streams(self):
+        factory = SeedSequenceFactory(42)
+        assert factory.rng("env").normal() != factory.rng("actor").normal()
+
+    def test_different_roots_different_streams(self):
+        assert (
+            SeedSequenceFactory(1).rng("env").normal()
+            != SeedSequenceFactory(2).rng("env").normal()
+        )
+
+    def test_order_independent(self):
+        f1 = SeedSequenceFactory(3)
+        a_first = f1.rng("a").normal()
+        f2 = SeedSequenceFactory(3)
+        f2.rng("zzz")  # constructing another stream must not shift 'a'
+        assert f2.rng("a").normal() == a_first
+
+    def test_repr(self):
+        assert "root_seed=9" in repr(SeedSequenceFactory(9))

@@ -1,0 +1,212 @@
+"""Unit tests for the single-hop offloading environment (Tables I & II)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SingleHopConfig
+from repro.envs.arrivals import DeterministicArrivals
+from repro.envs.single_hop import SingleHopOffloadEnv
+
+
+def make_env(rng=None, arrivals=None, **overrides):
+    config = SingleHopConfig(**overrides)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return SingleHopOffloadEnv(config, rng=rng, arrivals=arrivals)
+
+
+class TestSpaces:
+    def test_table1_dimensions(self):
+        env = make_env()
+        assert env.n_agents == 4
+        assert env.n_clouds == 2
+        assert env.action_space.n == 4
+        assert env.observation_space.size == 4
+        assert env.state_size == 16
+
+    def test_action_decode_encode_bijection(self):
+        env = make_env()
+        seen = set()
+        for action in range(env.action_space.n):
+            destination, amount = env.decode_action(action)
+            seen.add((destination, amount))
+            amount_index = env.config.packet_amounts.index(amount)
+            assert env.encode_action(destination, amount_index) == action
+        assert seen == {(0, 0.1), (0, 0.2), (1, 0.1), (1, 0.2)}
+
+    def test_decode_invalid(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            env.decode_action(4)
+
+    def test_encode_invalid(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            env.encode_action(2, 0)
+        with pytest.raises(ValueError):
+            env.encode_action(0, 5)
+
+
+class TestReset:
+    def test_observation_structure(self):
+        env = make_env()
+        observations, state = env.reset()
+        assert len(observations) == 4
+        for obs in observations:
+            assert obs.shape == (4,)
+            assert env.observation_space.contains(obs)
+        # o_n = [own queue, own queue at t-1, cloud 1, cloud 2]
+        assert np.allclose(observations[0], [0.5, 0.5, 0.5, 0.5])
+
+    def test_state_is_concatenation(self):
+        env = make_env()
+        observations, state = env.reset()
+        assert np.allclose(state, np.concatenate(observations))
+
+    def test_reset_restores_initial_levels(self):
+        env = make_env()
+        env.reset()
+        env.step([0, 1, 2, 3])
+        env.reset()
+        assert np.allclose(env.edge_queues.levels, 0.5)
+        assert np.allclose(env.cloud_queues.levels, 0.5)
+
+
+class TestDynamics:
+    def test_deterministic_step(self):
+        """Hand-computed transition with zero arrivals.
+
+        All agents send 0.2 to cloud 0: cloud0 raw = 0.5 - 0.3 + 0.8 = 1.0
+        (overflow boundary), cloud1 raw = 0.5 - 0.3 = 0.2 (empty cloud
+        inflow), edges raw = 0.5 - 0.2 = 0.3.
+        """
+        env = make_env(arrivals=DeterministicArrivals(0.0))
+        env.reset()
+        action = env.encode_action(0, 1)  # cloud 0, amount 0.2
+        result = env.step([action] * 4)
+        assert np.allclose(result.info["cloud_levels"], [1.0, 0.2])
+        assert np.allclose(result.info["edge_levels"], [0.3] * 4)
+        # Cloud 0 exactly reaches q_max: overflow event with q_hat = 0.
+        assert result.info["cloud_overflow"][0]
+        assert result.reward == pytest.approx(0.0)
+
+    def test_reward_overflow_and_empty_penalties(self):
+        """Push cloud 0 past capacity, starve cloud 1; check Eq. (1) exactly.
+
+        Step 2: cloud0 raw = 1.0 - 0.3 + 0.8 = 1.5 (q_tilde = 1.5,
+        q_hat = 0.5, penalty 0.5 * w_r = 2.0); cloud1 raw =
+        0.2 - 0.3 = -0.1 (empty, penalty q_tilde = 0.1).  Total -2.1.
+        """
+        env = make_env(arrivals=DeterministicArrivals(0.0))
+        env.reset()
+        action = env.encode_action(0, 1)
+        env.step([action] * 4)
+        result = env.step([action] * 4)
+        assert result.info["cloud_overflow"][0]
+        assert result.info["cloud_empty"][1]
+        assert result.reward == pytest.approx(-(0.5 * 4.0 + 0.1))
+
+    def test_reward_empty_penalty_deepens(self):
+        """Step 3: cloud1 raw = 0 - 0.3 = -0.3 -> penalty 0.3; cloud0
+        overflows again with q_hat = 0.5 -> 2.0.  Total -2.3."""
+        env = make_env(arrivals=DeterministicArrivals(0.0))
+        env.reset()
+        action = env.encode_action(0, 1)
+        env.step([action] * 4)
+        env.step([action] * 4)
+        result = env.step([action] * 4)
+        assert result.info["cloud_empty"][1]
+        assert result.reward == pytest.approx(-(2.0 + 0.3))
+
+    def test_reward_never_positive(self, rng):
+        env = make_env(rng=rng)
+        env.reset()
+        for _ in range(50):
+            actions = [env.action_space.sample(rng) for _ in range(4)]
+            result = env.step(actions)
+            assert result.reward <= 0.0
+            if result.done:
+                env.reset()
+
+    def test_observation_tracks_previous_level(self):
+        env = make_env(arrivals=DeterministicArrivals(0.0))
+        env.reset()
+        action = env.encode_action(0, 1)
+        result = env.step([action] * 4)
+        # o_n = [q(t)=0.3, q(t-1)=0.5, clouds...]
+        assert result.observations[0][0] == pytest.approx(0.3)
+        assert result.observations[0][1] == pytest.approx(0.5)
+        result = env.step([action] * 4)
+        assert result.observations[0][0] == pytest.approx(0.1)
+        assert result.observations[0][1] == pytest.approx(0.3)
+
+    def test_paper_mode_ships_scheduled_amount(self):
+        """Eq.-literal mode: the cloud receives p even from a drained edge."""
+        env = make_env(arrivals=DeterministicArrivals(0.0))
+        env.reset()
+        action = env.encode_action(0, 1)
+        for _ in range(3):
+            result = env.step([action] * 4)
+        # Edges hit zero but clouds keep receiving 0.8 per step.
+        assert np.allclose(result.info["sent"], 0.2)
+
+    def test_conserve_mode_limits_to_queue_content(self):
+        env = make_env(arrivals=DeterministicArrivals(0.0), conserve_packets=True)
+        env.reset()
+        action = env.encode_action(0, 1)
+        env.step([action] * 4)  # edges: 0.5 -> 0.3
+        env.step([action] * 4)  # 0.3 -> 0.1
+        result = env.step([action] * 4)  # only 0.1 left to send
+        assert np.allclose(result.info["sent"], 0.1)
+
+    def test_episode_termination(self):
+        env = make_env(episode_limit=3)
+        env.reset()
+        for step in range(3):
+            result = env.step([0, 0, 0, 0])
+        assert result.done
+
+    def test_action_validation(self):
+        env = make_env()
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step([0, 0, 0])
+        with pytest.raises(ValueError):
+            env.step([0, 0, 0, 9])
+
+
+class TestInfo:
+    def test_metric_fields(self, rng):
+        env = make_env(rng=rng)
+        env.reset()
+        result = env.step([0, 1, 2, 3])
+        info = result.info
+        for key in (
+            "mean_queue",
+            "empty_ratio",
+            "overflow_ratio",
+            "overflow_amount",
+            "cloud_levels",
+            "edge_levels",
+            "destinations",
+            "sent",
+        ):
+            assert key in info
+        assert 0.0 <= info["mean_queue"] <= 1.0
+        assert 0.0 <= info["empty_ratio"] <= 1.0
+        assert 0.0 <= info["overflow_ratio"] <= 1.0
+
+    def test_destinations_follow_actions(self):
+        env = make_env()
+        env.reset()
+        actions = [
+            env.encode_action(0, 0),
+            env.encode_action(1, 0),
+            env.encode_action(1, 1),
+            env.encode_action(0, 1),
+        ]
+        result = env.step(actions)
+        assert list(result.info["destinations"]) == [0, 1, 1, 0]
+        assert np.allclose(result.info["sent"], [0.1, 0.1, 0.2, 0.2])
+
+    def test_repr(self):
+        assert "K=2, N=4" in repr(make_env())

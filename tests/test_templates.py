@@ -1,0 +1,138 @@
+"""Unit tests for ansatz templates."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.templates import (
+    BasicEntanglerTemplate,
+    RandomLayerTemplate,
+    StronglyEntanglingTemplate,
+)
+
+
+class TestRandomLayerTemplate:
+    def test_exact_gate_and_weight_budget(self):
+        template = RandomLayerTemplate(4, 50, seed=1)
+        circuit = QuantumCircuit(4)
+        next_index = template.apply(circuit)
+        assert next_index == 50
+        assert circuit.n_operations == 50
+        assert circuit.n_weights == 50
+        assert template.n_weights == 50
+
+    def test_reproducible_by_seed(self):
+        a, b = QuantumCircuit(4), QuantumCircuit(4)
+        RandomLayerTemplate(4, 30, seed=7).apply(a)
+        RandomLayerTemplate(4, 30, seed=7).apply(b)
+        assert [(op.gate, op.wires) for op in a.operations] == [
+            (op.gate, op.wires) for op in b.operations
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = QuantumCircuit(4), QuantumCircuit(4)
+        RandomLayerTemplate(4, 30, seed=1).apply(a)
+        RandomLayerTemplate(4, 30, seed=2).apply(b)
+        assert [(op.gate, op.wires) for op in a.operations] != [
+            (op.gate, op.wires) for op in b.operations
+        ]
+
+    def test_contains_entangling_gates(self):
+        circuit = QuantumCircuit(4)
+        RandomLayerTemplate(4, 50, seed=3, two_qubit_ratio=0.3).apply(circuit)
+        counts = circuit.gate_counts()
+        two_qubit = sum(counts.get(g, 0) for g in ("crx", "cry", "crz"))
+        assert two_qubit > 0
+
+    def test_zero_ratio_single_qubit_only(self):
+        circuit = QuantumCircuit(4)
+        RandomLayerTemplate(4, 20, seed=3, two_qubit_ratio=0.0).apply(circuit)
+        assert all(len(op.wires) == 1 for op in circuit.operations)
+
+    def test_single_qubit_register_drops_entanglers(self):
+        circuit = QuantumCircuit(1)
+        RandomLayerTemplate(1, 10, seed=3).apply(circuit)
+        assert all(len(op.wires) == 1 for op in circuit.operations)
+
+    def test_weight_offset(self):
+        circuit = QuantumCircuit(2)
+        next_index = RandomLayerTemplate(2, 5, seed=0).apply(circuit, weight_offset=10)
+        assert next_index == 15
+        indices = [op.param.index for op in circuit.operations]
+        assert indices == list(range(10, 15))
+
+    def test_wrong_register_width(self):
+        with pytest.raises(ValueError):
+            RandomLayerTemplate(4, 10).apply(QuantumCircuit(3))
+
+    def test_initial_weights_range(self, rng):
+        template = RandomLayerTemplate(4, 50, seed=1)
+        weights = template.initial_weights(rng)
+        assert weights.shape == (50,)
+        assert np.all(weights >= 0) and np.all(weights < 2 * np.pi)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RandomLayerTemplate(4, 0)
+        with pytest.raises(ValueError):
+            RandomLayerTemplate(0, 5)
+        with pytest.raises(ValueError):
+            RandomLayerTemplate(4, 5, two_qubit_ratio=1.5)
+        with pytest.raises(ValueError):
+            RandomLayerTemplate(4, 5, gate_pool=("crx",))
+
+
+class TestBasicEntanglerTemplate:
+    def test_weight_count(self):
+        template = BasicEntanglerTemplate(4, 3)
+        assert template.n_weights == 12
+
+    def test_structure(self):
+        circuit = QuantumCircuit(3)
+        BasicEntanglerTemplate(3, 1, rotation="ry").apply(circuit)
+        gates_seq = [op.gate for op in circuit.operations]
+        assert gates_seq == ["ry", "ry", "ry", "cnot", "cnot", "cnot"]
+
+    def test_ring_wiring(self):
+        circuit = QuantumCircuit(3)
+        BasicEntanglerTemplate(3, 1).apply(circuit)
+        cnots = [op.wires for op in circuit.operations if op.gate == "cnot"]
+        assert cnots == [(0, 1), (1, 2), (2, 0)]
+
+    def test_single_qubit_no_cnots(self):
+        circuit = QuantumCircuit(1)
+        BasicEntanglerTemplate(1, 2).apply(circuit)
+        assert all(op.gate == "rx" for op in circuit.operations)
+
+    def test_invalid_rotation(self):
+        with pytest.raises(ValueError):
+            BasicEntanglerTemplate(2, 1, rotation="h")
+
+    def test_initial_weights(self, rng):
+        weights = BasicEntanglerTemplate(4, 2).initial_weights(rng)
+        assert weights.shape == (8,)
+
+
+class TestStronglyEntanglingTemplate:
+    def test_weight_count(self):
+        assert StronglyEntanglingTemplate(4, 2).n_weights == 24
+
+    def test_structure_one_layer(self):
+        circuit = QuantumCircuit(2)
+        StronglyEntanglingTemplate(2, 1).apply(circuit)
+        gates_seq = [op.gate for op in circuit.operations]
+        assert gates_seq == ["rz", "ry", "rz", "rz", "ry", "rz", "cnot", "cnot"]
+
+    def test_layer_dependent_hop(self):
+        circuit = QuantumCircuit(4)
+        StronglyEntanglingTemplate(4, 2).apply(circuit)
+        cnots = [op.wires for op in circuit.operations if op.gate == "cnot"]
+        # Layer 0 hops by 1, layer 1 hops by 2.
+        assert cnots[:4] == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert cnots[4:] == [(0, 2), (1, 3), (2, 0), (3, 1)]
+
+    def test_weight_indices_contiguous(self):
+        circuit = QuantumCircuit(3)
+        next_index = StronglyEntanglingTemplate(3, 2).apply(circuit)
+        assert next_index == 18
+        circuit.validate()

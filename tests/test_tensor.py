@@ -1,0 +1,211 @@
+"""Unit tests for the autodiff Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Parameter, Tensor, as_tensor
+
+from tests.helpers import numeric_gradient
+
+
+def check_gradient(build_loss, array, atol=1e-7):
+    """Compare autodiff gradient with central differences."""
+    x = Tensor(array.copy(), requires_grad=True)
+    loss = build_loss(x)
+    loss.backward()
+    numeric = numeric_gradient(lambda a: build_loss(Tensor(a)).item(), array)
+    assert np.allclose(x.grad, numeric, atol=atol), (
+        f"autodiff {x.grad} vs numeric {numeric}"
+    )
+
+
+class TestBasics:
+    def test_construction(self):
+        t = Tensor([[1.0, 2.0]])
+        assert t.shape == (1, 2)
+        assert t.ndim == 2
+        assert t.size == 2
+        assert not t.requires_grad
+
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_item_scalar_only(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_needs_scalar_or_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 1.0]))
+        assert np.allclose(x.grad, [3.0, 3.0])
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0]), Tensor)
+
+    def test_zero_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3.0).sum().backward()
+        (x * 3.0).sum().backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_repr_and_len(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        assert "requires_grad=True" in repr(x)
+        assert len(x) == 3
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda x: (x + 2.0).sum(), rng.normal(size=(3, 2)))
+
+    def test_radd_and_rsub(self, rng):
+        check_gradient(lambda x: (1.0 + x).sum(), rng.normal(size=(3,)))
+        check_gradient(lambda x: (1.0 - x).sum(), rng.normal(size=(3,)))
+
+    def test_mul(self, rng):
+        check_gradient(lambda x: (x * x).sum(), rng.normal(size=(4,)))
+
+    def test_neg_sub(self, rng):
+        check_gradient(lambda x: (-x - x * 2).sum(), rng.normal(size=(3, 3)))
+
+    def test_div(self, rng):
+        array = rng.normal(size=(4,)) + 3.0
+        check_gradient(lambda x: (x / 2.0 + 1.0 / x).sum(), array, atol=1e-6)
+
+    def test_pow(self, rng):
+        array = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda x: (x**3).sum(), array, atol=1e-5)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_two_tensor_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_broadcast_row_vector(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((4, 3)))
+        assert np.allclose(b.grad, np.full(3, 4.0))
+
+    def test_broadcast_keepdim_axis(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (4, 1)
+        assert np.allclose(b.grad[:, 0], a.data.sum(axis=1))
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must double the gradient, not overwrite it.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        assert np.allclose(x.grad, [12.0])
+
+
+class TestMatmul:
+    def test_gradients(self, rng):
+        a_data = rng.normal(size=(4, 3))
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+
+        a = Tensor(a_data, requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+        numeric_a = numeric_gradient(
+            lambda arr: float((((arr @ b.data)) ** 2).sum()), a_data
+        )
+        assert np.allclose(a.grad, numeric_a, atol=1e-5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(3)) @ Tensor(np.zeros((3, 2)))
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        check_gradient(
+            lambda x: (x.reshape(6) * np.arange(6.0)).sum(),
+            rng.normal(size=(2, 3)),
+        )
+
+    def test_reshape_tuple_arg(self):
+        x = Tensor(np.zeros((2, 3)), requires_grad=True)
+        assert x.reshape((3, 2)).shape == (3, 2)
+        assert x.reshape(-1).shape == (6,)
+
+    def test_transpose(self, rng):
+        weights = rng.normal(size=(3, 2))
+        check_gradient(
+            lambda x: (x.transpose() * weights).sum(), rng.normal(size=(2, 3))
+        )
+
+    def test_transpose_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(3)).transpose()
+
+    def test_getitem(self, rng):
+        check_gradient(lambda x: (x[1:] * 2).sum(), rng.normal(size=(4, 2)))
+
+    def test_getitem_repeated_row(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        y = x[np.array([1, 1, 2])]
+        y.sum().backward()
+        assert np.allclose(x.grad, [0, 2, 1, 0])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_gradient(lambda x: x.sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_axis(self, rng):
+        weights = rng.normal(size=4)
+        check_gradient(
+            lambda x: (x.sum(axis=0) * weights).sum(), rng.normal(size=(3, 4))
+        )
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(
+            lambda x: (x.sum(axis=1, keepdims=True) * 2.0).sum(),
+            rng.normal(size=(3, 4)),
+        )
+
+    def test_mean(self, rng):
+        check_gradient(lambda x: x.mean(), rng.normal(size=(5,)))
+
+    def test_mean_axis(self, rng):
+        weights = rng.normal(size=3)
+        check_gradient(
+            lambda x: (x.mean(axis=1) * weights).sum(), rng.normal(size=(3, 4))
+        )
+
+    def test_mean_tuple_axis(self, rng):
+        check_gradient(
+            lambda x: x.mean(axis=(0, 1)).sum(), rng.normal(size=(2, 3, 2))
+        )

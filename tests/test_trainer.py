@@ -1,0 +1,166 @@
+"""Unit tests for the CTDE trainer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.marl.actors import ActorGroup, ClassicalActor, RandomActor
+from repro.marl.critics import ClassicalCentralCritic
+from repro.marl.trainer import CTDETrainer, rollout_episode
+
+
+def tiny_setup(seed=0, episode_limit=6, **train_overrides):
+    env_config = SingleHopConfig(episode_limit=episode_limit)
+    rng = np.random.default_rng(seed)
+    env = SingleHopOffloadEnv(env_config, rng=np.random.default_rng(seed + 1))
+    actors = ActorGroup(
+        [
+            ClassicalActor(
+                env_config.observation_size, env_config.n_actions, (5,), rng
+            )
+            for _ in range(env_config.n_agents)
+        ]
+    )
+    critic = ClassicalCentralCritic(env_config.state_size, (4,), rng)
+    target = ClassicalCentralCritic(
+        env_config.state_size, (4,), np.random.default_rng(seed + 2)
+    )
+    defaults = {
+        "n_epochs": 3,
+        "episodes_per_epoch": 2,
+        "gamma": 0.9,
+        "actor_lr": 1e-2,
+        "critic_lr": 1e-2,
+        "target_update_period": 2,
+    }
+    defaults.update(train_overrides)
+    config = TrainingConfig(**defaults)
+    trainer = CTDETrainer(env, actors, critic, target, config, rng)
+    return trainer
+
+
+class TestRolloutEpisode:
+    def test_episode_and_stats_consistent(self):
+        trainer = tiny_setup()
+        episode, stats = rollout_episode(
+            trainer.env, trainer.actors, np.random.default_rng(3)
+        )
+        assert episode.length == 6
+        assert stats["length"] == 6
+        assert stats["total_reward"] == pytest.approx(episode.total_reward)
+        assert 0.0 <= stats["mean_queue"] <= 1.0
+
+    def test_greedy_rollout(self):
+        trainer = tiny_setup()
+        episode, _ = rollout_episode(
+            trainer.env, trainer.actors, np.random.default_rng(3), greedy=True
+        )
+        assert episode.length == 6
+
+    def test_random_group_rollout(self):
+        trainer = tiny_setup()
+        group = ActorGroup([RandomActor(4) for _ in range(4)])
+        episode, stats = rollout_episode(
+            trainer.env, group, np.random.default_rng(0)
+        )
+        assert episode.length == 6
+
+
+class TestTrainerMechanics:
+    def test_agent_count_mismatch_rejected(self):
+        trainer = tiny_setup()
+        group = ActorGroup([RandomActor(4)])
+        with pytest.raises(ValueError):
+            CTDETrainer(
+                trainer.env, group, trainer.critic, trainer.target_critic,
+                trainer.config, trainer.rng,
+            )
+
+    def test_target_initialised_to_critic(self):
+        trainer = tiny_setup()
+        states = np.random.default_rng(5).uniform(size=(3, 16))
+        assert np.allclose(
+            trainer.critic.values(states), trainer.target_critic.values(states)
+        )
+
+    def test_update_changes_parameters(self):
+        trainer = tiny_setup()
+        before_actor = [p.data.copy() for p in trainer.actors.parameters()]
+        before_critic = [p.data.copy() for p in trainer.critic.parameters()]
+        trainer.train_epoch()
+        after_actor = trainer.actors.parameters()
+        after_critic = trainer.critic.parameters()
+        assert any(
+            not np.allclose(b, a.data)
+            for b, a in zip(before_actor, after_actor)
+        )
+        assert any(
+            not np.allclose(b, a.data)
+            for b, a in zip(before_critic, after_critic)
+        )
+
+    def test_target_sync_period(self):
+        trainer = tiny_setup(target_update_period=2)
+        trainer.train_epoch()  # epoch 1: no sync
+        states = np.random.default_rng(5).uniform(size=(3, 16))
+        diverged = not np.allclose(
+            trainer.critic.values(states), trainer.target_critic.values(states)
+        )
+        assert diverged
+        trainer.train_epoch()  # epoch 2: sync
+        assert np.allclose(
+            trainer.critic.values(states), trainer.target_critic.values(states)
+        )
+
+    def test_history_records(self):
+        trainer = tiny_setup()
+        trainer.train(n_epochs=3)
+        assert trainer.history.n_epochs == 3
+        record = trainer.history.records[-1]
+        for key in (
+            "epoch", "total_reward", "mean_queue", "empty_ratio",
+            "overflow_ratio", "critic_loss", "actor_loss",
+            "mean_abs_td_error", "mean_value",
+        ):
+            assert key in record
+
+    def test_buffer_cleared_each_epoch(self):
+        trainer = tiny_setup(episodes_per_epoch=2)
+        trainer.train_epoch()
+        assert trainer.buffer.n_episodes == 2  # this epoch's episodes only
+        trainer.train_epoch()
+        assert trainer.buffer.n_episodes == 2
+
+    def test_callback_receives_records(self):
+        trainer = tiny_setup()
+        seen = []
+        trainer.train(n_epochs=2, callback=seen.append)
+        assert len(seen) == 2
+        assert seen[0]["epoch"] == 1
+
+    def test_callback_stop_iteration(self):
+        trainer = tiny_setup()
+
+        def stop_after_one(record):
+            raise StopIteration
+
+        trainer.train(n_epochs=5, callback=stop_after_one)
+        assert trainer.history.n_epochs == 1
+
+    def test_evaluate(self):
+        trainer = tiny_setup()
+        stats = trainer.evaluate(n_episodes=2)
+        assert set(stats) == {
+            "total_reward", "length", "mean_queue", "empty_ratio",
+            "overflow_ratio",
+        }
+
+    def test_no_grad_clip(self):
+        trainer = tiny_setup(grad_clip=None)
+        trainer.train_epoch()  # must not raise
+
+    def test_entropy_coef_path(self):
+        trainer = tiny_setup(entropy_coef=0.05)
+        record = trainer.train_epoch()
+        assert np.isfinite(record["actor_loss"])

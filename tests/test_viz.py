@@ -1,0 +1,158 @@
+"""Unit tests for the visualisation package."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.quantum import statevector as sv
+from repro.viz.ascii_plots import line_plot, multi_series_table, sparkline
+from repro.viz.hls import amplitude_to_hls, amplitude_to_rgb, phase_to_hue, rgb_grid
+from repro.viz.qubit_heatmap import QubitStateHeatmap, render_ansi, render_text
+
+
+class TestHls:
+    def test_phase_to_hue_range(self):
+        phases = np.linspace(-np.pi, np.pi, 33)
+        hues = phase_to_hue(phases)
+        assert np.all(hues >= 0.0) and np.all(hues < 1.0)
+
+    def test_phase_wraps(self):
+        assert phase_to_hue(-np.pi) == pytest.approx(phase_to_hue(np.pi) % 1.0)
+
+    def test_zero_magnitude_is_dark_and_unsaturated(self):
+        _, lightness, saturation = amplitude_to_hls(0.0, 0.0)
+        assert lightness < 0.1
+        assert saturation == 0.0
+
+    def test_full_magnitude_is_light(self):
+        _, light_full, _ = amplitude_to_hls(1.0, 0.0)
+        _, light_half, _ = amplitude_to_hls(0.5, 0.0)
+        assert light_full > light_half
+
+    def test_rgb_dtype_and_range(self):
+        rgb = amplitude_to_rgb(np.array([0.5, 1.0]), np.array([0.0, np.pi / 2]))
+        assert rgb.dtype == np.uint8
+        assert rgb.shape == (2, 3)
+
+    def test_phase_changes_color(self):
+        a = amplitude_to_rgb(1.0, 0.0)
+        b = amplitude_to_rgb(1.0, np.pi)
+        assert not np.array_equal(a, b)
+
+    def test_rgb_grid_shape(self):
+        grid = np.ones((4, 4), dtype=complex) / 4.0
+        rgb = rgb_grid(grid)
+        assert rgb.shape == (4, 4, 3)
+
+    def test_max_magnitude_validation(self):
+        with pytest.raises(ValueError):
+            amplitude_to_hls(1.0, 0.0, max_magnitude=0.0)
+
+
+class TestQubitStateHeatmap:
+    def bell_like_state(self):
+        psi = sv.zero_state(4)
+        psi = sv.apply_gate(psi, "h", (0,), 4)
+        psi = sv.apply_gate(psi, "cnot", (0, 1), 4)
+        return psi
+
+    def test_grid_shape(self):
+        heatmap = QubitStateHeatmap(self.bell_like_state())
+        assert heatmap.rows == 4 and heatmap.cols == 4
+        assert heatmap.magnitude.shape == (4, 4)
+        assert heatmap.phase.shape == (4, 4)
+
+    def test_magnitudes_square_to_one(self):
+        heatmap = QubitStateHeatmap(self.bell_like_state())
+        assert (heatmap.magnitude**2).sum() == pytest.approx(1.0)
+
+    def test_fig4_cell_layout(self):
+        """|0110>: row = q0q1 = 01, col = q2q3 = 10."""
+        heatmap = QubitStateHeatmap(sv.basis_state(4, 0b0110))
+        assert heatmap.magnitude[1, 2] == pytest.approx(1.0)
+
+    def test_batch_of_one_accepted(self):
+        QubitStateHeatmap(sv.zero_state(4))
+
+    def test_batch_of_many_rejected(self):
+        with pytest.raises(ValueError):
+            QubitStateHeatmap(sv.zero_state(4, batch_size=2))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            QubitStateHeatmap(np.ones(6))
+
+    def test_csv_export(self):
+        csv = QubitStateHeatmap(self.bell_like_state()).to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "row,col,magnitude,phase"
+        assert len(lines) == 17
+
+    def test_json_export(self):
+        doc = json.loads(QubitStateHeatmap(self.bell_like_state()).to_json())
+        assert doc["n_qubits"] == 4
+        assert len(doc["magnitude"]) == 4
+
+    def test_rgb(self):
+        rgb = QubitStateHeatmap(self.bell_like_state()).rgb()
+        assert rgb.shape == (4, 4, 3)
+
+    def test_render_ansi_contains_truecolor(self):
+        out = render_ansi(QubitStateHeatmap(self.bell_like_state()))
+        assert "\x1b[48;2;" in out
+        assert out.count("\n") == 7  # two terminal rows per grid row
+
+    def test_render_text(self):
+        out = render_text(QubitStateHeatmap(self.bell_like_state()))
+        assert "magnitude:" in out
+        assert "phase/pi:" in out
+        assert "0.707" in out
+
+
+class TestAsciiPlots:
+    def test_sparkline_length(self):
+        assert len(sparkline(np.arange(10))) == 10
+
+    def test_sparkline_flat(self):
+        assert sparkline(np.ones(5)) == "▁▁▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_line_plot_contains_markers_and_legend(self):
+        out = line_plot(
+            {"proposed": np.arange(10.0), "comp1": -np.arange(10.0)},
+            width=30,
+            height=8,
+            title="reward",
+        )
+        assert "reward" in out
+        assert "* proposed" in out
+        assert "+ comp1" in out
+
+    def test_line_plot_constant_series(self):
+        out = line_plot({"flat": np.zeros(5)}, width=10, height=4)
+        assert "flat" in out
+
+    def test_line_plot_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_table_alignment(self):
+        out = multi_series_table(
+            np.arange(3), {"a": [1.0, 2.0, 3.0], "b": [4.0, 5.0, 6.0]}
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["epoch", "a", "b"]
+        assert len(lines) == 4
+
+    def test_table_max_rows_subsamples(self):
+        out = multi_series_table(
+            np.arange(100), {"a": np.arange(100.0)}, max_rows=10
+        )
+        assert len(out.splitlines()) <= 12
+
+    def test_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multi_series_table(np.arange(3), {"a": [1.0]})

@@ -1,0 +1,114 @@
+"""Unit tests for assembled VQC bundles."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.backends import StatevectorBackend
+from repro.quantum.observables import PauliString
+from repro.quantum.vqc import VQC, build_vqc, make_template
+from repro.quantum.circuit import ParameterRef, QuantumCircuit
+from repro.quantum.templates import (
+    BasicEntanglerTemplate,
+    RandomLayerTemplate,
+    StronglyEntanglingTemplate,
+)
+
+
+class TestBuildVqc:
+    def test_actor_shape(self):
+        """The paper's actor: 4 qubits, 4 obs features, 50 weights, 4 Z's."""
+        vqc = build_vqc(4, 4, 50, seed=0)
+        assert vqc.n_qubits == 4
+        assert vqc.n_features == 4
+        assert vqc.n_weights == 50
+        assert vqc.n_outputs == 4
+
+    def test_critic_shape(self):
+        """The paper's critic: 16 state features folded onto 4 qubits."""
+        vqc = build_vqc(4, 16, 50, seed=0)
+        assert vqc.n_features == 16
+        # 16 encoding gates + 50 variational gates.
+        assert vqc.circuit.n_operations == 66
+
+    def test_encoding_selection(self):
+        actor = build_vqc(4, 4, 10, seed=0)
+        critic = build_vqc(4, 16, 10, seed=0)
+        # Actor: single RX layer; critic: multi-layer cycle includes RY.
+        actor_enc = [op.gate for op in actor.circuit.operations[:4]]
+        critic_enc = [op.gate for op in critic.circuit.operations[:16]]
+        assert set(actor_enc) == {"rx"}
+        assert "ry" in critic_enc and "rz" in critic_enc
+
+    def test_custom_observables(self):
+        obs = [PauliString.z(0)]
+        vqc = build_vqc(4, 4, 10, observables=obs)
+        assert vqc.n_outputs == 1
+
+    def test_run(self, rng):
+        vqc = build_vqc(3, 3, 9, seed=1)
+        weights = vqc.initial_weights(rng)
+        out = vqc.run(StatevectorBackend(), rng.uniform(size=(2, 3)), weights)
+        assert out.shape == (2, 3)
+
+    def test_initial_weights_shape_checked(self, rng):
+        vqc = build_vqc(2, 2, 6, seed=1)
+        weights = vqc.initial_weights(rng)
+        assert weights.shape == (6,)
+
+    def test_templates_selectable(self):
+        for name, cls in (
+            ("random", RandomLayerTemplate),
+            ("basic_entangler", BasicEntanglerTemplate),
+            ("strongly_entangling", StronglyEntanglingTemplate),
+        ):
+            vqc = build_vqc(4, 4, 50, template=name)
+            assert isinstance(vqc.template, cls)
+
+    def test_partial_layer_feature_count(self):
+        vqc = build_vqc(4, 10, 20)
+        assert vqc.n_features == 10
+        assert vqc.circuit.n_operations == 30
+
+    def test_repr(self):
+        assert "n_weights=50" in repr(build_vqc(4, 4, 50))
+
+
+class TestMakeTemplate:
+    def test_random_budget_exact(self):
+        assert make_template("random", 4, 50).n_weights == 50
+
+    def test_basic_entangler_rounds_down(self):
+        template = make_template("basic_entangler", 4, 50)
+        assert template.n_weights == 48  # 12 layers x 4 qubits
+
+    def test_strongly_entangling_rounds_down(self):
+        template = make_template("strongly_entangling", 4, 50)
+        assert template.n_weights == 48  # 4 layers x 4 qubits x 3
+
+    def test_below_one_layer_raises(self):
+        with pytest.raises(ValueError):
+            make_template("basic_entangler", 8, 4)
+
+    def test_unknown_template(self):
+        with pytest.raises(ValueError):
+            make_template("magic", 4, 50)
+
+
+class TestVqcValidation:
+    def test_weight_shape_mismatch_raises(self, rng):
+        circuit = QuantumCircuit(2)
+        circuit.add("rx", (0,), ParameterRef.weight(0))
+
+        class WrongTemplate:
+            def initial_weights(self, rng):
+                return np.zeros(3)
+
+        vqc = VQC(circuit, [PauliString.z(0)], WrongTemplate())
+        with pytest.raises(ValueError):
+            vqc.initial_weights(rng)
+
+    def test_non_contiguous_circuit_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("rx", (0,), ParameterRef.weight(2))
+        with pytest.raises(ValueError):
+            VQC(circuit, [PauliString.z(0)], None)

@@ -1,0 +1,97 @@
+"""Unit tests for environment wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.config import SingleHopConfig
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.envs.wrappers import EpisodeStatsWrapper, RewardScaleWrapper, Wrapper
+
+
+def make_env(episode_limit=4, seed=0):
+    return SingleHopOffloadEnv(
+        SingleHopConfig(episode_limit=episode_limit),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def run_episode(env, seed=1):
+    rng = np.random.default_rng(seed)
+    env.reset()
+    done = False
+    total = 0.0
+    while not done:
+        result = env.step([env.action_space.sample(rng) for _ in range(4)])
+        total += result.reward
+        done = result.done
+    return total
+
+
+class TestWrapperBase:
+    def test_passthrough_properties(self):
+        env = make_env()
+        wrapped = Wrapper(env)
+        assert wrapped.n_agents == env.n_agents
+        assert wrapped.action_space == env.action_space
+        assert wrapped.state_size == env.state_size
+
+    def test_attribute_delegation(self):
+        wrapped = Wrapper(make_env())
+        assert wrapped.decode_action(0) == (0, 0.1)
+
+    def test_reset_and_step_delegate(self):
+        wrapped = Wrapper(make_env())
+        observations, state = wrapped.reset()
+        assert len(observations) == 4
+        result = wrapped.step([0, 0, 0, 0])
+        assert result.reward <= 0.0
+
+    def test_repr(self):
+        assert "Wrapper" in repr(Wrapper(make_env()))
+
+
+class TestEpisodeStatsWrapper:
+    def test_summary_written_at_episode_end(self):
+        env = EpisodeStatsWrapper(make_env(episode_limit=3))
+        assert env.last_summary() is None
+        total = run_episode(env)
+        summary = env.last_summary()
+        assert summary["length"] == 3
+        assert summary["total_reward"] == pytest.approx(total)
+        assert 0.0 <= summary["mean_queue"] <= 1.0
+
+    def test_accumulates_across_episodes(self):
+        env = EpisodeStatsWrapper(make_env(episode_limit=2))
+        run_episode(env, seed=1)
+        run_episode(env, seed=2)
+        assert len(env.episode_summaries) == 2
+
+    def test_reset_clears_running_accumulators(self):
+        env = EpisodeStatsWrapper(make_env(episode_limit=3))
+        env.reset()
+        env.step([0, 0, 0, 0])
+        env.reset()  # abandon the partial episode
+        total = run_episode(env)
+        assert env.episode_summaries[-1]["total_reward"] == pytest.approx(total)
+        assert len(env.episode_summaries) == 1
+
+
+class TestRewardScaleWrapper:
+    def test_scales_reward(self):
+        base = make_env(seed=5)
+        scaled = RewardScaleWrapper(make_env(seed=5), scale=0.5)
+        base.reset()
+        scaled.reset()
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        for _ in range(4):
+            actions_a = [base.action_space.sample(rng_a) for _ in range(4)]
+            actions_b = [scaled.action_space.sample(rng_b) for _ in range(4)]
+            result_a = base.step(actions_a)
+            result_b = scaled.step(actions_b)
+            assert result_b.reward == pytest.approx(0.5 * result_a.reward)
+
+    def test_info_preserved(self):
+        env = RewardScaleWrapper(make_env(), scale=2.0)
+        env.reset()
+        result = env.step([0, 0, 0, 0])
+        assert "mean_queue" in result.info
