@@ -32,6 +32,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--epochs", type=int, default=30)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rollout-envs", type=int, default=4)
     args = parser.parse_args()
 
     # -- 1. the VQC of Fig. 1 ------------------------------------------------
@@ -74,10 +75,6 @@ def main():
           f"w_R={env_config.w_r}")
 
     # -- 4. train the proposed QMARL framework --------------------------------
-    print()
-    print("=" * 72)
-    print(f"4. Training the proposed framework ({args.epochs} epochs)")
-    print("=" * 72)
     framework = build_framework(
         "proposed",
         seed=args.seed,
@@ -90,8 +87,17 @@ def main():
             actor_lr=2e-3,
             critic_lr=1e-3,
             entropy_coef=0.01,
+            # Collect all episodes of an epoch in parallel: batched env
+            # stepping + one circuit evaluation per step for the whole team
+            # across every copy (see repro.envs.vector).
+            rollout_envs=args.rollout_envs,
         ),
     )
+    print()
+    print("=" * 72)
+    print(f"4. Training the proposed framework ({args.epochs} epochs, "
+          f"{framework.trainer.rollout_envs} lockstep rollout envs)")
+    print("=" * 72)
     print(f"parameter budget: actor {framework.metadata['actor_parameters']} "
           f"x {env_config.n_agents} agents, "
           f"critic {framework.metadata['critic_parameters']}")

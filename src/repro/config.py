@@ -167,6 +167,14 @@ class TrainingConfig:
         entropy_coef: Optional entropy bonus on the actor loss (0 = paper's
             plain MAPG).
         evaluation_episodes: Greedy-policy episodes used when evaluating.
+        rollout_envs: Lockstep environment copies used for vectorized
+            episode collection (clamped to ``episodes_per_epoch``).  With 1
+            copy the vectorized path consumes RNG streams bit-identically
+            to the serial reference rollout.
+        rollout_mode: ``"auto"`` — vectorize collection when
+            ``rollout_envs > 1`` — or force ``"serial"`` (the reference
+            ``rollout_episode`` loop) / ``"vector"`` (the batched engine,
+            any copy count).
     """
 
     n_epochs: int = 1000
@@ -178,6 +186,8 @@ class TrainingConfig:
     grad_clip: float = 10.0
     entropy_coef: float = 0.0
     evaluation_episodes: int = 8
+    rollout_envs: int = 1
+    rollout_mode: str = "auto"
 
     def __post_init__(self):
         if self.n_epochs < 1 or self.episodes_per_epoch < 1:
@@ -188,6 +198,13 @@ class TrainingConfig:
             raise ValueError("learning rates must be positive")
         if self.target_update_period < 1:
             raise ValueError("target_update_period must be >= 1")
+        if self.rollout_envs < 1:
+            raise ValueError("rollout_envs must be >= 1")
+        if self.rollout_mode not in ("auto", "serial", "vector"):
+            raise ValueError(
+                f"rollout_mode must be 'auto', 'serial' or 'vector', "
+                f"got {self.rollout_mode!r}"
+            )
 
 
 # Classical baseline shapes used by the paper's comparison (Section IV-C).

@@ -1,6 +1,7 @@
 """Environment substrate: multi-agent API, queueing dynamics, offloading env."""
 
 from repro.envs.arrivals import (
+    ArrivalProcess,
     BernoulliBurstArrivals,
     DeterministicArrivals,
     TruncatedPoissonArrivals,
@@ -10,6 +11,13 @@ from repro.envs.base import Discrete, FeatureSpace, MultiAgentEnv, StepResult
 from repro.envs.queues import QueueBank, QueueUpdate, clip
 from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
 from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.envs.vector import (
+    MultiHopVectorEnv,
+    SingleHopVectorEnv,
+    VectorEnv,
+    VectorStepResult,
+    make_vector_env,
+)
 from repro.envs.wrappers import EpisodeStatsWrapper, RewardScaleWrapper, Wrapper
 
 __all__ = [
@@ -20,6 +28,7 @@ __all__ = [
     "QueueBank",
     "QueueUpdate",
     "clip",
+    "ArrivalProcess",
     "UniformArrivals",
     "BernoulliBurstArrivals",
     "TruncatedPoissonArrivals",
@@ -27,6 +36,11 @@ __all__ = [
     "SingleHopOffloadEnv",
     "MultiHopOffloadEnv",
     "layered_topology",
+    "VectorEnv",
+    "VectorStepResult",
+    "SingleHopVectorEnv",
+    "MultiHopVectorEnv",
+    "make_vector_env",
     "EpisodeStatsWrapper",
     "RewardScaleWrapper",
     "Wrapper",

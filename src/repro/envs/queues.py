@@ -9,6 +9,13 @@ reward (Eq. 1) and the Fig. 3 metrics need: the *pre-clip* value
 ``raw = q_t - u_t + b_t``, whether the queue bottomed out (``raw <= 0``),
 whether it overflowed (``raw >= q_max``), and the magnitudes
 ``q_tilde = |raw|`` and ``q_hat = |q_max - q_tilde|``.
+
+Every kernel accepts an optional leading batch axis: a bank constructed
+with ``n_envs=N`` holds ``(N, n_queues)`` levels and updates all ``N``
+environment copies in one vectorised call, which is what the lockstep
+:mod:`repro.envs.vector` environments build on.  All arithmetic is
+elementwise, so a batched update is bit-identical per row to ``N``
+independent serial updates.
 """
 
 from __future__ import annotations
@@ -58,29 +65,40 @@ class QueueUpdate:
         self.q_hat = np.abs(q_max - self.q_tilde)
 
     @property
-    def overflow_amount(self):
-        """Total packet mass lost to overflow this step."""
+    def overflow_excess(self):
+        """Elementwise packet mass lost to overflow (same shape as levels)."""
         excess = np.where(self.overflow, self.raw - self.levels, 0.0)
-        return float(np.maximum(excess, 0.0).sum())
+        return np.maximum(excess, 0.0)
+
+    @property
+    def overflow_amount(self):
+        """Total packet mass lost to overflow this step (summed over all axes)."""
+        return float(self.overflow_excess.sum())
 
 
 class QueueBank:
-    """A vector of queues sharing one capacity.
+    """A vector of queues sharing one capacity, optionally batched over envs.
 
     Args:
         n_queues: Number of queues in the bank.
         capacity: ``q_max`` shared by every queue.
         initial_level: Starting level for :meth:`reset`, either a scalar in
             ``[0, capacity]`` or ``"uniform"`` for random initialisation.
+        n_envs: ``None`` for a single environment (levels ``(n_queues,)``) or
+            the number of lockstep environment copies (levels
+            ``(n_envs, n_queues)``).
     """
 
-    def __init__(self, n_queues, capacity, initial_level=0.5):
+    def __init__(self, n_queues, capacity, initial_level=0.5, n_envs=None):
         if n_queues < 1:
             raise ValueError("n_queues must be >= 1")
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if n_envs is not None and n_envs < 1:
+            raise ValueError("n_envs must be None or >= 1")
         self.n_queues = int(n_queues)
         self.capacity = float(capacity)
+        self.n_envs = None if n_envs is None else int(n_envs)
         if not isinstance(initial_level, str):
             initial_level = float(initial_level)
             if not 0.0 <= initial_level <= self.capacity:
@@ -90,30 +108,62 @@ class QueueBank:
         elif initial_level != "uniform":
             raise ValueError(f"unknown initial level mode {initial_level!r}")
         self.initial_level = initial_level
-        self.levels = np.zeros(self.n_queues)
+        self.levels = np.zeros(self.shape)
+
+    @property
+    def shape(self):
+        """Level-array shape: ``(n_queues,)`` or ``(n_envs, n_queues)``."""
+        if self.n_envs is None:
+            return (self.n_queues,)
+        return (self.n_envs, self.n_queues)
 
     def reset(self, rng=None):
-        """Re-initialise levels; returns the starting level vector."""
+        """Re-initialise every level; returns the starting level array.
+
+        In batched mode one ``rng`` draws the whole block at once; use
+        :meth:`reset_row` when each environment copy must consume its own
+        stream (the serial-equivalence contract of the vector envs).
+        """
         if isinstance(self.initial_level, str):
             if rng is None:
                 raise ValueError("uniform initialisation needs an rng")
-            self.levels = rng.uniform(0.0, self.capacity, size=self.n_queues)
+            self.levels = rng.uniform(0.0, self.capacity, size=self.shape)
         else:
-            self.levels = np.full(self.n_queues, self.initial_level)
+            self.levels = np.full(self.shape, self.initial_level)
         return self.levels.copy()
+
+    def reset_row(self, row, rng=None):
+        """Re-initialise one environment row from its own generator.
+
+        Draws exactly what a serial bank's :meth:`reset` would draw from
+        ``rng``, so row ``i`` of a batched bank stays stream-identical to an
+        independent serial environment.
+        """
+        if self.n_envs is None:
+            raise ValueError("reset_row needs a batched bank (n_envs set)")
+        if isinstance(self.initial_level, str):
+            if rng is None:
+                raise ValueError("uniform initialisation needs an rng")
+            self.levels[row] = rng.uniform(
+                0.0, self.capacity, size=self.n_queues
+            )
+        else:
+            self.levels[row] = self.initial_level
+        return self.levels[row].copy()
 
     def step(self, outflow, inflow):
         """Apply one clipped update; returns a :class:`QueueUpdate`.
 
         Args:
-            outflow: ``u_t`` per queue (scalar or vector).
-            inflow: ``b_t`` per queue (scalar or vector).
+            outflow: ``u_t`` per queue (scalar or array broadcastable to
+                the bank's shape).
+            inflow: ``b_t`` per queue (scalar or broadcastable array).
         """
         outflow = np.broadcast_to(
-            np.asarray(outflow, dtype=np.float64), (self.n_queues,)
+            np.asarray(outflow, dtype=np.float64), self.shape
         )
         inflow = np.broadcast_to(
-            np.asarray(inflow, dtype=np.float64), (self.n_queues,)
+            np.asarray(inflow, dtype=np.float64), self.shape
         )
         if np.any(outflow < 0) or np.any(inflow < 0):
             raise ValueError("outflow and inflow must be non-negative")
@@ -126,5 +176,5 @@ class QueueBank:
     def __repr__(self):
         return (
             f"QueueBank(n_queues={self.n_queues}, capacity={self.capacity}, "
-            f"levels={np.round(self.levels, 3)})"
+            f"n_envs={self.n_envs}, levels={np.round(self.levels, 3)})"
         )

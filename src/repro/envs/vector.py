@@ -1,0 +1,598 @@
+"""Vectorized environments: N lockstep copies over stacked numpy state.
+
+The serial environments (:mod:`repro.envs.single_hop`,
+:mod:`repro.envs.multi_hop`) step one episode at a time, which leaves the
+batched statevector simulator running at batch size ``n_agents`` during data
+collection.  A :class:`VectorEnv` instead holds the state of ``N``
+environment copies as stacked arrays — queue levels ``(N, n_queues)``,
+observations ``(N, n_agents, obs_size)``, global states ``(N, state_size)``
+— and advances all copies with one batched kernel call per step.  Combined
+with :meth:`repro.marl.actors.ActorGroup.act_batch` this turns each rollout
+step into a single ``(N * n_agents)``-row circuit evaluation.
+
+Design contract (pinned by ``tests/test_vector_env.py``):
+
+- **The serial envs are ground truth.**  Each environment copy owns its own
+  ``numpy.random.Generator``; arrivals and uniform queue initialisation are
+  drawn per copy in the same order a serial env would draw them, and all
+  queue arithmetic is elementwise.  Row ``i`` of a ``VectorEnv`` is
+  therefore *bit-identical*, step for step, to an independent serial env
+  seeded with the same stream.
+- **Auto-reset.**  With ``auto_reset=True`` (the default) a copy that
+  finishes its episode is immediately re-initialised from its own
+  generator; the :class:`VectorStepResult` carries both the terminal
+  (``final_observations`` / ``final_states``) and the freshly reset
+  (``observations`` / ``states``) views so rollout collectors can store the
+  true terminal transition while continuing without a pause.
+
+Use :func:`make_vector_env` to vectorize an existing serial env: row 0
+reuses the serial env's generator (so an ``N=1`` vector rollout consumes
+the exact stream the serial rollout would), and rows ``1..N-1`` get
+independent child streams spawned from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SingleHopConfig
+from repro.envs.arrivals import UniformArrivals
+from repro.envs.multi_hop import MultiHopOffloadEnv
+from repro.envs.queues import QueueBank
+from repro.envs.single_hop import SingleHopOffloadEnv
+
+__all__ = [
+    "VectorStepResult",
+    "VectorEnv",
+    "SingleHopVectorEnv",
+    "MultiHopVectorEnv",
+    "make_vector_env",
+]
+
+
+class VectorStepResult:
+    """The outcome of one lockstep vector step.
+
+    Attributes:
+        observations: ``(N, n_agents, obs_size)`` — the observations to act
+            on next (rows finished this step are already reset).
+        states: ``(N, state_size)`` global states matching ``observations``.
+        rewards: ``(N,)`` shared team rewards.
+        dones: ``(N,)`` episode-termination flags.
+        mean_queues / empty_ratios / overflow_ratios: ``(N,)`` vectorized
+            Fig. 3 stat scalars (the hot-path subset of ``infos``, computed
+            without any per-env python work).
+        infos: List of ``N`` per-env diagnostic dicts (identical keys and
+            values to the serial env's ``StepResult.info``).  Built lazily
+            on first access — rollout collection never pays for them.
+        final_observations: ``(N, n_agents, obs_size)`` pre-reset terminal
+            observations (equal to ``observations`` on rows that did not
+            finish).
+        final_states: ``(N, state_size)`` pre-reset global states.
+    """
+
+    __slots__ = (
+        "observations",
+        "states",
+        "rewards",
+        "dones",
+        "mean_queues",
+        "empty_ratios",
+        "overflow_ratios",
+        "final_observations",
+        "final_states",
+        "_infos",
+        "_info_builder",
+    )
+
+    def __init__(self, observations, states, rewards, dones, stats,
+                 info_builder, final_observations, final_states):
+        self.observations = observations
+        self.states = states
+        self.rewards = rewards
+        self.dones = dones
+        self.mean_queues, self.empty_ratios, self.overflow_ratios = stats
+        self.final_observations = final_observations
+        self.final_states = final_states
+        self._infos = None
+        self._info_builder = info_builder
+
+    @property
+    def infos(self):
+        """Per-env serial-parity info dicts (materialised on demand)."""
+        if self._infos is None:
+            self._infos = self._info_builder()
+        return self._infos
+
+    def __iter__(self):
+        """Allow ``obs, states, rewards, dones, infos = result`` unpacking."""
+        return iter(
+            (self.observations, self.states, self.rewards, self.dones,
+             self.infos)
+        )
+
+
+class VectorEnv:
+    """N lockstep environment copies sharing one configuration.
+
+    Subclasses own the stacked dynamics and implement three hooks:
+    ``_reset_rows(rows)`` (re-initialise the given copies, drawing from
+    each copy's own generator), ``_apply_actions(actions)`` (advance the
+    stacked state one step; returns ``(rewards, stats, info_builder)``
+    where ``stats`` is the vectorized ``(mean_queues, empty_ratios,
+    overflow_ratios)`` triple and ``info_builder`` lazily materialises the
+    serial-parity per-env info dicts) and ``_observations()`` (stacked
+    ``(N, n_agents, obs_size)`` views).
+
+    Args:
+        n_envs: Number of lockstep copies.
+        rngs: One ``numpy.random.Generator`` per copy (fresh unseeded
+            generators when omitted).
+        auto_reset: Re-initialise a copy the moment its episode ends.
+    """
+
+    n_agents = 0
+    n_actions = 0
+    observation_size = 0
+    state_size = 0
+    episode_limit = 0
+
+    def __init__(self, n_envs, rngs=None, auto_reset=True):
+        if n_envs < 1:
+            raise ValueError("n_envs must be >= 1")
+        self.n_envs = int(n_envs)
+        if rngs is None:
+            rngs = [np.random.default_rng() for _ in range(self.n_envs)]
+        rngs = list(rngs)
+        if len(rngs) != self.n_envs:
+            raise ValueError(
+                f"need {self.n_envs} generators, got {len(rngs)}"
+            )
+        self.rngs = rngs
+        self.auto_reset = bool(auto_reset)
+        self._t = np.zeros(self.n_envs, dtype=np.int64)
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _reset_rows(self, rows):
+        raise NotImplementedError
+
+    def _apply_actions(self, actions):
+        raise NotImplementedError
+
+    def _observations(self):
+        raise NotImplementedError
+
+    def _states(self, observations):
+        """Global state per copy = concatenated agent observations."""
+        return observations.reshape(self.n_envs, -1)
+
+    # -- protocol -------------------------------------------------------------
+
+    def reset(self):
+        """Re-initialise every copy; returns ``(observations, states)``."""
+        return self.reset_rows(np.arange(self.n_envs))
+
+    def reset_rows(self, rows):
+        """Re-initialise selected copies; returns full ``(observations, states)``."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        self._reset_rows(rows)
+        self._t[rows] = 0
+        observations = self._observations()
+        return observations, self._states(observations)
+
+    def step(self, actions):
+        """Advance all copies one step; returns a :class:`VectorStepResult`.
+
+        Args:
+            actions: ``(N, n_agents)`` integer action indices.
+        """
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.n_envs, self.n_agents):
+            raise ValueError(
+                f"expected actions of shape {(self.n_envs, self.n_agents)}, "
+                f"got {actions.shape}"
+            )
+        if np.any(actions < 0) or np.any(actions >= self.n_actions):
+            raise ValueError(
+                f"action indices must lie in [0, {self.n_actions})"
+            )
+        rewards, stats, info_builder = self._apply_actions(actions)
+        self._t += 1
+        dones = self._t >= self.episode_limit
+        observations = self._observations()
+        states = self._states(observations)
+        final_observations, final_states = observations, states
+        if self.auto_reset and dones.any():
+            observations, states = self.reset_rows(np.flatnonzero(dones))
+        return VectorStepResult(
+            observations, states, rewards, dones, stats, info_builder,
+            final_observations, final_states,
+        )
+
+
+class SingleHopVectorEnv(VectorEnv):
+    """N lockstep copies of the paper's single-hop offloading environment.
+
+    Stacked-state mirror of :class:`~repro.envs.single_hop.SingleHopOffloadEnv`
+    — same Table I observations, Eq. (1) reward and Fig. 3 ``info``
+    accounting, computed for all copies with batched queue kernels.
+
+    Args:
+        n_envs: Number of lockstep copies.
+        config: Environment parameters (defaults = Table II).
+        rngs: One generator per copy (see :class:`VectorEnv`).
+        arrivals: Arrival process shared by all copies (stateless; each
+            copy samples from its own generator).
+        auto_reset: Re-initialise finished copies immediately.
+    """
+
+    def __init__(self, n_envs, config=None, rngs=None, arrivals=None,
+                 auto_reset=True):
+        super().__init__(n_envs, rngs=rngs, auto_reset=auto_reset)
+        self.config = config if config is not None else SingleHopConfig()
+        cfg = self.config
+        self.arrivals = (
+            arrivals
+            if arrivals is not None
+            else UniformArrivals(cfg.w_p, cfg.queue_capacity)
+        )
+        self.n_agents = cfg.n_agents
+        self.n_clouds = cfg.n_clouds
+        self.n_actions = cfg.n_actions
+        self.observation_size = cfg.observation_size
+        self.state_size = cfg.state_size
+        self.episode_limit = cfg.episode_limit
+
+        self.edge_queues = QueueBank(
+            cfg.n_agents, cfg.queue_capacity, cfg.initial_queue_level,
+            n_envs=self.n_envs,
+        )
+        self.cloud_queues = QueueBank(
+            cfg.n_clouds, cfg.queue_capacity, cfg.initial_queue_level,
+            n_envs=self.n_envs,
+        )
+        self._prev_edge_levels = np.zeros((self.n_envs, self.n_agents))
+        self._amounts = np.asarray(cfg.packet_amounts, dtype=np.float64)
+        self._env_index = np.arange(self.n_envs)
+
+    def _reset_rows(self, rows):
+        # Same draw order as the serial env's reset: edge bank, then clouds.
+        for row in rows:
+            rng = self.rngs[row]
+            self.edge_queues.reset_row(row, rng)
+            self.cloud_queues.reset_row(row, rng)
+        self._prev_edge_levels[rows] = self.edge_queues.levels[rows]
+
+    def _observations(self):
+        q_max = self.config.queue_capacity
+        obs = np.empty(
+            (self.n_envs, self.n_agents, self.observation_size)
+        )
+        obs[:, :, 0] = self.edge_queues.levels / q_max
+        obs[:, :, 1] = self._prev_edge_levels / q_max
+        obs[:, :, 2:] = (self.cloud_queues.levels / q_max)[:, None, :]
+        return obs
+
+    def _apply_actions(self, actions):
+        cfg = self.config
+        n_amounts = len(self._amounts)
+        destinations = actions // n_amounts
+        scheduled = self._amounts[actions % n_amounts]
+        if cfg.conserve_packets:
+            sent = np.minimum(scheduled, self.edge_queues.levels)
+        else:
+            sent = scheduled
+
+        cloud_inflow = np.zeros((self.n_envs, self.n_clouds))
+        np.add.at(
+            cloud_inflow, (self._env_index[:, None], destinations), sent
+        )
+
+        prev_edge_levels = self.edge_queues.levels.copy()
+        cloud_update = self.cloud_queues.step(
+            outflow=cfg.cloud_service_rate, inflow=cloud_inflow
+        )
+        edge_update = self.edge_queues.step(
+            outflow=scheduled if not cfg.conserve_packets else sent,
+            inflow=self.arrivals.sample_batch(self.rngs, self.n_agents),
+        )
+        self._prev_edge_levels = prev_edge_levels
+
+        empty_penalty = np.where(cloud_update.empty, cloud_update.q_tilde, 0.0)
+        overflow_penalty = np.where(
+            cloud_update.overflow, cloud_update.q_hat * cfg.w_r, 0.0
+        )
+        rewards = -np.sum(empty_penalty + overflow_penalty, axis=1)
+
+        n_slots = self.n_agents + self.n_clouds
+        stats = (
+            np.concatenate(
+                [edge_update.levels, cloud_update.levels], axis=1
+            ).mean(axis=1),
+            (cloud_update.empty.sum(axis=1) + edge_update.empty.sum(axis=1))
+            / n_slots,
+            (cloud_update.overflow.sum(axis=1)
+             + edge_update.overflow.sum(axis=1)) / n_slots,
+        )
+        t_next = self._t + 1
+        return rewards, stats, (
+            lambda: self._build_infos(
+                t_next, cloud_update, edge_update, destinations, sent
+            )
+        )
+
+    def _build_infos(self, t_next, cloud_update, edge_update, destinations,
+                     sent):
+        n_slots = self.n_agents + self.n_clouds
+        cloud_excess = cloud_update.overflow_excess.sum(axis=1)
+        edge_excess = edge_update.overflow_excess.sum(axis=1)
+        infos = []
+        for i in range(self.n_envs):
+            all_levels = np.concatenate(
+                [edge_update.levels[i], cloud_update.levels[i]]
+            )
+            infos.append({
+                "t": int(t_next[i]),
+                "cloud_levels": cloud_update.levels[i].copy(),
+                "edge_levels": edge_update.levels[i].copy(),
+                "cloud_empty": cloud_update.empty[i].copy(),
+                "cloud_overflow": cloud_update.overflow[i].copy(),
+                "edge_empty": edge_update.empty[i].copy(),
+                "edge_overflow": edge_update.overflow[i].copy(),
+                "mean_queue": float(all_levels.mean()),
+                "empty_ratio": float(
+                    (cloud_update.empty[i].sum() + edge_update.empty[i].sum())
+                    / n_slots
+                ),
+                "overflow_ratio": float(
+                    (cloud_update.overflow[i].sum()
+                     + edge_update.overflow[i].sum())
+                    / n_slots
+                ),
+                "overflow_amount": float(cloud_excess[i] + edge_excess[i]),
+                "destinations": destinations[i].copy(),
+                "sent": sent[i].copy(),
+            })
+        return infos
+
+    def __repr__(self):
+        cfg = self.config
+        return (
+            f"SingleHopVectorEnv(n_envs={self.n_envs}, K={cfg.n_clouds}, "
+            f"N={cfg.n_agents}, |A|={cfg.n_actions}, T={cfg.episode_limit})"
+        )
+
+
+class MultiHopVectorEnv(VectorEnv):
+    """N lockstep copies of the layered multi-hop offloading environment.
+
+    Builds one serial :class:`~repro.envs.multi_hop.MultiHopOffloadEnv` as a
+    template (reusing its topology validation and node ordering), then runs
+    the dynamics over stacked state.  Routing is precomputed into index
+    tables so a step is a handful of fancy-indexed array ops; the relay
+    forwarding constants are replayed in the serial env's exact edge order
+    to keep the floating-point accumulation bit-identical.
+
+    Args:
+        n_envs: Number of lockstep copies.
+        topology: Layered DAG (see :func:`repro.envs.multi_hop.layered_topology`).
+        rngs: One generator per copy.
+        auto_reset: Re-initialise finished copies immediately.
+        **env_kwargs: Forwarded to :class:`MultiHopOffloadEnv` (packet
+            amounts, rates, capacities, episode limit, ...).
+    """
+
+    def __init__(self, n_envs, topology, rngs=None, auto_reset=True,
+                 **env_kwargs):
+        super().__init__(n_envs, rngs=rngs, auto_reset=auto_reset)
+        template = MultiHopOffloadEnv(
+            topology, rng=np.random.default_rng(0), **env_kwargs
+        )
+        self._template = template
+        self.n_agents = template.n_agents
+        self.n_actions = template.action_space.n
+        self.observation_size = template.observation_size
+        self.state_size = template.state_size
+        self.episode_limit = template.episode_limit
+        self.arrivals = template.arrivals
+
+        self._amounts = np.asarray(template.packet_amounts, dtype=np.float64)
+        self._n_network = len(template._non_agent_nodes)
+        self._succ_table = np.array(
+            [
+                [
+                    template._network_index[s]
+                    for s in template._successors[node]
+                ]
+                for node in template.agent_nodes
+            ],
+            dtype=np.int64,
+        )
+        # Relay forwarding replayed in the serial env's per-edge order.
+        relay_targets, relay_amounts = [], []
+        for node in template._non_agent_nodes:
+            successors = template._successors[node]
+            if successors:
+                per_edge = template.service_rate / len(successors)
+                for target in successors:
+                    relay_targets.append(template._network_index[target])
+                    relay_amounts.append(per_edge)
+        self._relay_targets = np.asarray(relay_targets, dtype=np.int64)
+        self._relay_amounts = np.asarray(relay_amounts, dtype=np.float64)
+
+        initial_level = template._agent_queues.initial_level
+        self._agent_queues = QueueBank(
+            self.n_agents, template.queue_capacity, initial_level,
+            n_envs=self.n_envs,
+        )
+        self._network_queues = QueueBank(
+            self._n_network, template.queue_capacity, initial_level,
+            n_envs=self.n_envs,
+        )
+        self._prev_agent_levels = np.zeros((self.n_envs, self.n_agents))
+        self._env_index = np.arange(self.n_envs)
+        self._agent_index = np.arange(self.n_agents)
+
+    def _reset_rows(self, rows):
+        # Same draw order as the serial env: agent bank, then network bank.
+        for row in rows:
+            rng = self.rngs[row]
+            self._agent_queues.reset_row(row, rng)
+            self._network_queues.reset_row(row, rng)
+        self._prev_agent_levels[rows] = self._agent_queues.levels[rows]
+
+    def _observations(self):
+        q_max = self._template.queue_capacity
+        obs = np.empty(
+            (self.n_envs, self.n_agents, self.observation_size)
+        )
+        obs[:, :, 0] = self._agent_queues.levels / q_max
+        obs[:, :, 1] = self._prev_agent_levels / q_max
+        obs[:, :, 2:] = (
+            self._network_queues.levels[:, self._succ_table] / q_max
+        )
+        return obs
+
+    def _apply_actions(self, actions):
+        template = self._template
+        n_amounts = len(self._amounts)
+        successor_index = actions // n_amounts
+        scheduled = self._amounts[actions % n_amounts]
+        targets = self._succ_table[self._agent_index, successor_index]
+
+        # Match the serial accumulation order exactly: agent contributions
+        # first (agent-major), then the relay constants edge by edge.
+        inflow = np.zeros((self.n_envs, self._n_network))
+        np.add.at(inflow, (self._env_index[:, None], targets), scheduled)
+        np.add.at(
+            inflow,
+            (
+                self._env_index[:, None],
+                np.broadcast_to(
+                    self._relay_targets,
+                    (self.n_envs, self._relay_targets.size),
+                ),
+            ),
+            self._relay_amounts,
+        )
+
+        prev_agent_levels = self._agent_queues.levels.copy()
+        network_update = self._network_queues.step(
+            outflow=template.service_rate, inflow=inflow
+        )
+        agent_update = self._agent_queues.step(
+            outflow=scheduled,
+            inflow=self.arrivals.sample_batch(self.rngs, self.n_agents),
+        )
+        self._prev_agent_levels = prev_agent_levels
+
+        empty_penalty = np.where(
+            network_update.empty, network_update.q_tilde, 0.0
+        )
+        overflow_penalty = np.where(
+            network_update.overflow, network_update.q_hat * template.w_r, 0.0
+        )
+        rewards = -np.sum(empty_penalty + overflow_penalty, axis=1)
+
+        n_slots = self.n_agents + self._n_network
+        stats = (
+            np.concatenate(
+                [agent_update.levels, network_update.levels], axis=1
+            ).mean(axis=1),
+            (agent_update.empty.sum(axis=1) + network_update.empty.sum(axis=1))
+            / n_slots,
+            (agent_update.overflow.sum(axis=1)
+             + network_update.overflow.sum(axis=1)) / n_slots,
+        )
+        t_next = self._t + 1
+        return rewards, stats, (
+            lambda: self._build_infos(t_next, agent_update, network_update)
+        )
+
+    def _build_infos(self, t_next, agent_update, network_update):
+        n_slots = self.n_agents + self._n_network
+        agent_excess = agent_update.overflow_excess.sum(axis=1)
+        network_excess = network_update.overflow_excess.sum(axis=1)
+        infos = []
+        for i in range(self.n_envs):
+            all_levels = np.concatenate(
+                [agent_update.levels[i], network_update.levels[i]]
+            )
+            infos.append({
+                "t": int(t_next[i]),
+                "agent_levels": agent_update.levels[i].copy(),
+                "network_levels": network_update.levels[i].copy(),
+                "mean_queue": float(all_levels.mean()),
+                "empty_ratio": float(
+                    (agent_update.empty[i].sum()
+                     + network_update.empty[i].sum()) / n_slots
+                ),
+                "overflow_ratio": float(
+                    (agent_update.overflow[i].sum()
+                     + network_update.overflow[i].sum()) / n_slots
+                ),
+                "overflow_amount": float(agent_excess[i] + network_excess[i]),
+            })
+        return infos
+
+    def __repr__(self):
+        return (
+            f"MultiHopVectorEnv(n_envs={self.n_envs}, "
+            f"template={self._template!r})"
+        )
+
+
+def _spawn_row_rngs(env_rng, n_envs):
+    """Row generators: row 0 shares the serial env's stream, rows 1.. spawn.
+
+    Sharing the serial generator on row 0 makes an ``N=1`` vector rollout
+    consume exactly the stream a serial rollout would — the property the
+    trainer's serial/vectorized determinism test pins down.
+    """
+    rngs = [env_rng]
+    if n_envs > 1:
+        rngs.extend(env_rng.spawn(n_envs - 1))
+    return rngs
+
+
+def make_vector_env(env, n_envs, rngs=None, auto_reset=True):
+    """Vectorize a serial environment into ``n_envs`` lockstep copies.
+
+    Args:
+        env: A :class:`SingleHopOffloadEnv` or :class:`MultiHopOffloadEnv`
+            whose configuration (and arrival process) the copies share.
+        n_envs: Number of lockstep copies.
+        rngs: Optional per-copy generators.  By default row 0 reuses
+            ``env.rng`` (stepping the vector env advances the serial env's
+            stream — deliberate, see :func:`_spawn_row_rngs`) and the rest
+            are independent children spawned from it.
+        auto_reset: Re-initialise finished copies immediately.
+    """
+    if not isinstance(env, (SingleHopOffloadEnv, MultiHopOffloadEnv)):
+        raise TypeError(
+            f"cannot vectorize environment of type {type(env).__name__}"
+        )
+    if rngs is None:
+        rngs = _spawn_row_rngs(env.rng, n_envs)
+    if isinstance(env, SingleHopOffloadEnv):
+        return SingleHopVectorEnv(
+            n_envs,
+            config=env.config,
+            rngs=rngs,
+            arrivals=env.arrivals,
+            auto_reset=auto_reset,
+        )
+    return MultiHopVectorEnv(
+        n_envs,
+        env.topology,
+        rngs=rngs,
+        auto_reset=auto_reset,
+        packet_amounts=env.packet_amounts,
+        w_p=env.w_p,
+        w_r=env.w_r,
+        service_rate=env.service_rate,
+        queue_capacity=env.queue_capacity,
+        episode_limit=env.episode_limit,
+        initial_queue_level=env._agent_queues.initial_level,
+    )

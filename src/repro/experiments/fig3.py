@@ -54,7 +54,7 @@ def preset_settings(preset):
 
 
 def run_fig3(preset="quick", seed=7, frameworks=("proposed", "comp1", "comp2", "comp3"),
-             callback=None):
+             callback=None, rollout_envs=1):
     """Train every framework and collect the Fig. 3 series.
 
     Args:
@@ -64,6 +64,10 @@ def run_fig3(preset="quick", seed=7, frameworks=("proposed", "comp1", "comp2", "
             framework-specific child seeds via its name).
         frameworks: Which arms to run.
         callback: Optional ``fn(framework_name, epoch_record)`` progress hook.
+        rollout_envs: Lockstep env copies for vectorized episode collection
+            (1 = the serial reference path; >1 trades the serial RNG stream
+            layout for wall-clock via batched rollouts — per-seed curves
+            differ but the statistics reproduce the same figure).
 
     Returns:
         A result document (dict) with per-framework series for every metric,
@@ -89,6 +93,7 @@ def run_fig3(preset="quick", seed=7, frameworks=("proposed", "comp1", "comp2", "
             env_config=env_config,
             vqc_config=vqc_config,
             train_config=train_config,
+            rollout_envs=rollout_envs,
         )
         hook = (lambda rec, _n=name: callback(_n, rec)) if callback else None
         history = framework.train(n_epochs=n_epochs, callback=hook)

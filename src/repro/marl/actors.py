@@ -40,6 +40,23 @@ def _stable_softmax_np(logits):
     return exps / exps.sum(axis=-1, keepdims=True)
 
 
+def _sample_categorical_rows(probs, rng):
+    """One categorical sample per row of a ``(R, A)`` probability matrix.
+
+    Replicates ``numpy.random.Generator.choice(A, p=row)`` exactly — the
+    same normalised-cumsum inversion of the same uniform draws, one per row
+    in row order — so a batched rollout consumes the action stream
+    bit-identically to per-observation serial sampling, while avoiding
+    ``R`` python-level ``choice`` calls per step.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    cdf = np.cumsum(probs, axis=1)
+    cdf /= cdf[:, -1:]
+    draws = rng.random(probs.shape[0])
+    actions = (cdf <= draws[:, None]).sum(axis=1)
+    return np.minimum(actions, probs.shape[1] - 1)
+
+
 def born_observables(n_action_qubits):
     """The Pauli-Z correlation basis measured by the Born policy head.
 
@@ -236,6 +253,8 @@ class ClassicalActor(Module):
 class RandomActor:
     """Uniform policy — the paper's random-walk reference."""
 
+    supports_greedy = False
+
     def __init__(self, n_actions):
         self.n_actions = int(n_actions)
 
@@ -286,6 +305,54 @@ class ActorGroup:
             else:
                 actions.append(actor.sample_action(obs, rng))
         return actions
+
+    # -- vectorized inference -------------------------------------------------
+
+    def batch_probabilities(self, observations):
+        """``(N, n_agents, A)`` probabilities for stacked observations.
+
+        ``observations`` is ``(N, n_agents, obs_size)`` — one row per
+        lockstep environment copy.  The base implementation runs one batched
+        forward per agent; :class:`QuantumActorGroup` overrides it with a
+        single circuit evaluation over all ``N * n_agents`` rows.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        return np.stack(
+            [
+                actor.probabilities(observations[:, n, :])
+                for n, actor in enumerate(self.actors)
+            ],
+            axis=1,
+        )
+
+    def act_batch(self, observations, rng, greedy=False):
+        """``(N, n_agents)`` actions for ``(N, n_agents, obs_size)`` inputs.
+
+        The batched counterpart of :meth:`act`: all environment copies'
+        observations go through each policy in one forward pass.  For
+        policy actors (quantum/classical), action sampling consumes ``rng``
+        bit-identically to ``N`` successive serial :meth:`act` calls
+        (row-major: copy 0's agents first).  :class:`RandomActor` is the
+        exception: serial sampling draws bounded integers while this path
+        samples its uniform distribution, so the random arm's streams
+        differ between serial and batched rollouts (it is untrained, so
+        only stream layout — not statistics — changes).
+        """
+        if greedy:
+            for actor in self.actors:
+                if not getattr(actor, "supports_greedy", True):
+                    raise RuntimeError(
+                        f"{type(actor).__name__} has no greedy action; "
+                        "evaluate it stochastically"
+                    )
+        probs = self.batch_probabilities(observations)
+        n_envs, n_agents, n_actions = probs.shape
+        if greedy:
+            return np.argmax(probs, axis=2)
+        flat = _sample_categorical_rows(
+            probs.reshape(n_envs * n_agents, n_actions), rng
+        )
+        return flat.reshape(n_envs, n_agents)
 
     def parameters(self):
         """All trainable parameters across the team."""
@@ -349,26 +416,15 @@ class QuantumActorGroup(ActorGroup):
             self._compiled = CompiledCircuit(self._circuit, self._observables)
 
     def team_probabilities(self, observations):
-        """``(N, A)`` action probabilities for the whole team at once."""
-        if self._fast_backend is None:
-            return np.concatenate(
-                [a.probabilities(o) for a, o in zip(self.actors, observations)]
-            )
+        """``(n_agents, A)`` action probabilities for the whole team at once.
+
+        The one-copy case of :meth:`batch_probabilities` (same arrays, same
+        floats) — kept as the serial rollout's entry point.
+        """
         stacked_obs = np.stack(
             [np.asarray(o, dtype=np.float64) for o in observations]
         )
-        stacked_weights = np.stack(
-            [a.layer.weights.data for a in self.actors]
-        )
-        if self._compiled is not None:
-            outputs = self._compiled.run(stacked_obs, stacked_weights)
-        else:
-            outputs = self._fast_backend.run(
-                self._circuit, self._observables, stacked_obs, stacked_weights
-            )
-        if self._head_actor.policy_head == "born":
-            return self._head_actor._born_probs_np(outputs)
-        return _stable_softmax_np(outputs * self._logit_scale)
+        return self.batch_probabilities(stacked_obs[None])[0]
 
     def act(self, observations, rng, greedy=False):
         """One action per agent, computed with one batched circuit call."""
@@ -379,3 +435,39 @@ class QuantumActorGroup(ActorGroup):
         for row in probs:
             actions.append(int(rng.choice(len(row), p=row)))
         return actions
+
+    def batch_probabilities(self, observations):
+        """``(N, n_agents, A)`` probabilities via one circuit evaluation.
+
+        Stacks all copies' observations into ``(N * n_agents)`` rows
+        (copy-major) with the agents' weight rows cycled over the batch, so
+        the whole fleet of policies is one batched simulator call.  On the
+        compiled path only the ``n_agents`` distinct weight-only suffix
+        unitaries are compiled, cached between weight updates with a key
+        independent of ``N`` — a rollout step costs one encoding pass plus
+        one batched matmul.  For ``N = 1`` this is exactly
+        :meth:`team_probabilities` — same arrays, same floats.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        if self._fast_backend is None:
+            # Shot/noise backends sample per actor; fall back to the
+            # per-agent batched path (still one backend call per agent).
+            return super().batch_probabilities(observations)
+        n_envs, n_agents = observations.shape[0], observations.shape[1]
+        flat_obs = observations.reshape(n_envs * n_agents, -1)
+        weights = np.stack([a.layer.weights.data for a in self.actors])
+        if self._compiled is not None:
+            # Untiled weights: the compiled path cycles the n_agents weight
+            # rows over the batch, caching only the distinct suffix
+            # unitaries (key independent of n_envs).
+            outputs = self._compiled.run(flat_obs, weights)
+        else:
+            outputs = self._fast_backend.run(
+                self._circuit, self._observables, flat_obs,
+                np.tile(weights, (n_envs, 1)),
+            )
+        if self._head_actor.policy_head == "born":
+            probs = self._head_actor._born_probs_np(outputs)
+        else:
+            probs = _stable_softmax_np(outputs * self._logit_scale)
+        return probs.reshape(n_envs, n_agents, -1)

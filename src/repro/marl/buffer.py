@@ -131,10 +131,20 @@ class TransitionBatch:
 class RolloutBuffer:
     """A bounded store of completed episodes.
 
-    Args:
-        capacity: Maximum retained episodes; older episodes are dropped
-            first.  The on-policy trainer clears the buffer each epoch, so
-            the cap only matters in off-policy experiments.
+    Capacity semantics — explicit because parallel collection lands many
+    episodes at once:
+
+    - ``capacity`` counts *episodes*, not transitions.
+    - :meth:`add_episode` evicts the oldest stored episode once the cap is
+      exceeded (FIFO), which is safe for one-at-a-time serial collection.
+    - :meth:`add_episodes` stores a whole batch atomically and *refuses* a
+      batch larger than the capacity: silently evicting episodes collected
+      in the same epoch would bias the update batch, so that is an error,
+      never an eviction.  The trainer sizes its buffer to
+      ``max(64, episodes_per_epoch)`` so a full epoch always fits.
+
+    The on-policy trainer clears the buffer each epoch; the cap only
+    matters in off-policy experiments.
     """
 
     def __init__(self, capacity=64):
@@ -150,6 +160,27 @@ class RolloutBuffer:
         self.episodes.append(episode)
         if len(self.episodes) > self.capacity:
             self.episodes.pop(0)
+
+    def add_episodes(self, episodes):
+        """Store a batch of finished episodes, oldest-first, atomically.
+
+        Raises ``ValueError`` when the batch alone exceeds the capacity —
+        same-batch data must never be silently evicted (see the class
+        docstring).  Pre-existing episodes may still rotate out FIFO.
+        """
+        episodes = list(episodes)
+        if len(episodes) > self.capacity:
+            raise ValueError(
+                f"batch of {len(episodes)} episodes exceeds capacity "
+                f"{self.capacity}; same-batch eviction is not allowed"
+            )
+        # Validate the whole batch before storing any of it, so a rejected
+        # batch leaves the buffer untouched (atomicity promised above).
+        for episode in episodes:
+            if not getattr(episode, "_finished", False):
+                raise ValueError("episode must be finished before storage")
+        for episode in episodes:
+            self.add_episode(episode)
 
     def batch(self):
         """Concatenate everything currently stored."""

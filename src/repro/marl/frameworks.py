@@ -27,6 +27,7 @@ from repro.config import (
     SingleHopConfig,
     TrainingConfig,
     VQCConfig,
+    replace,
 )
 from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.marl.actors import (
@@ -79,21 +80,34 @@ class Framework:
             raise RuntimeError(f"framework {self.name!r} is not trainable")
         return self.trainer.train(n_epochs=n_epochs, callback=callback)
 
-    def evaluate(self, n_episodes=8, greedy=None):
+    def evaluate(self, n_episodes=8, greedy=None, vectorized=False):
         """Averaged episode stats under the current policy.
 
         Greedy (arg-max) execution by default for trainable frameworks —
         the paper's decentralised execution — and stochastic for the random
-        walk.
+        walk.  With ``vectorized=True`` all ``n_episodes`` run as lockstep
+        env copies through batched policy inference (same stat accounting,
+        different RNG stream layout than the serial loop).
         """
         if greedy is None:
             greedy = self.trainable
-        all_stats = []
-        for _ in range(n_episodes):
-            _, stats = rollout_episode(
-                self.env, self.actors, self._eval_rng, greedy=greedy
+        if vectorized:
+            from repro.envs.vector import make_vector_env
+            from repro.marl.rollout import VectorRolloutCollector
+
+            collector = VectorRolloutCollector(
+                make_vector_env(self.env, n_episodes), self.actors
             )
-            all_stats.append(stats)
+            _, all_stats = collector.collect(
+                n_episodes, self._eval_rng, greedy=greedy
+            )
+        else:
+            all_stats = []
+            for _ in range(n_episodes):
+                _, stats = rollout_episode(
+                    self.env, self.actors, self._eval_rng, greedy=greedy
+                )
+                all_stats.append(stats)
         return {
             key: float(np.mean([s[key] for s in all_stats]))
             for key in all_stats[0]
@@ -191,6 +205,7 @@ def build_framework(
     shots=None,
     comp2_net=COMP2_NET,
     comp3_net=COMP3_NET,
+    rollout_envs=None,
 ):
     """Construct one experimental arm, fully wired and reproducibly seeded.
 
@@ -206,12 +221,18 @@ def build_framework(
             parameter-shift gradients (NISQ ablations).
         shots: Optional finite measurement shots for quantum components.
         comp2_net / comp3_net: Classical baseline shapes.
+        rollout_envs: Convenience override of
+            ``train_config.rollout_envs`` — the number of lockstep env
+            copies the trainer collects episodes with (vectorized rollout
+            engine; serial reference when 1).
     """
     if name not in FRAMEWORK_NAMES:
         raise ValueError(f"unknown framework {name!r}; choose from {FRAMEWORK_NAMES}")
     env_config = env_config if env_config is not None else SingleHopConfig()
     vqc_config = vqc_config if vqc_config is not None else VQCConfig()
     train_config = train_config if train_config is not None else TrainingConfig()
+    if rollout_envs is not None:
+        train_config = replace(train_config, rollout_envs=int(rollout_envs))
     seeds = SeedSequenceFactory(seed)
 
     if noise_model is not None or shots is not None:

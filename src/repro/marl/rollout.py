@@ -1,0 +1,148 @@
+"""Vectorized episode collection over lockstep environment copies.
+
+:func:`repro.marl.trainer.rollout_episode` is the reference serial
+implementation of data collection — one env, one episode, one VQC forward
+per agent per step.  This module is its batched counterpart: a
+:class:`VectorRolloutCollector` steps a :class:`~repro.envs.vector.VectorEnv`
+of ``N`` copies in lockstep, queries the whole team's policies for all
+copies with one :meth:`~repro.marl.actors.ActorGroup.act_batch` call per
+step, and slices the stacked results back into per-copy
+:class:`~repro.marl.buffer.Episode` objects with exactly the Fig. 3 stat
+accounting of the serial path (per-episode total reward, mean queue level,
+empty ratio, overflow ratio).
+
+Determinism contract:
+
+- With ``N = 1`` and the vector env sharing the serial env's generator
+  (:func:`~repro.envs.vector.make_vector_env`), collection is bit-identical
+  to repeated ``rollout_episode`` calls: the auto-reset that follows each
+  finished episode draws exactly what the next serial ``env.reset()``
+  would, and the collector carries the freshly reset state over to the next
+  ``collect`` call instead of resetting again.
+- With ``N > 1``, runs are deterministic for a fixed seed: action sampling
+  consumes one shared stream in (copy, agent) row-major order, and each
+  copy's environment draws come from its own child stream.
+
+Episodes complete in (step, copy index) order; partially collected episodes
+left in flight when ``collect`` returns are discarded, and their copies are
+re-initialised at the start of the next call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.marl.buffer import Episode
+
+__all__ = ["VectorRolloutCollector"]
+
+
+class VectorRolloutCollector:
+    """Collects completed episodes from lockstep environment copies.
+
+    Args:
+        vector_env: A :class:`~repro.envs.vector.VectorEnv` with
+            ``auto_reset`` enabled.
+        actors: An :class:`~repro.marl.actors.ActorGroup` with one policy
+            per agent.
+    """
+
+    def __init__(self, vector_env, actors):
+        if not vector_env.auto_reset:
+            raise ValueError("VectorRolloutCollector needs auto_reset=True")
+        if vector_env.n_agents != actors.n_agents:
+            raise ValueError(
+                f"env has {vector_env.n_agents} agents, group has "
+                f"{actors.n_agents}"
+            )
+        self.vector_env = vector_env
+        self.actors = actors
+        self._observations = None
+        self._states = None
+        # True where the copy sits at an unconsumed fresh episode start
+        # (left there by auto-reset); False where it is mid-episode.
+        self._fresh = np.zeros(vector_env.n_envs, dtype=bool)
+
+    @property
+    def n_envs(self):
+        """Number of lockstep copies."""
+        return self.vector_env.n_envs
+
+    def _prepare(self):
+        """Ensure every copy is at an episode start before collecting."""
+        if self._observations is None:
+            self._observations, self._states = self.vector_env.reset()
+            self._fresh[:] = True
+            return
+        stale = np.flatnonzero(~self._fresh)
+        if stale.size:
+            self._observations, self._states = self.vector_env.reset_rows(
+                stale
+            )
+            self._fresh[stale] = True
+
+    def collect(self, n_episodes, rng, greedy=False):
+        """Collect ``n_episodes`` completed episodes; returns ``(episodes, stats)``.
+
+        ``stats`` carries one dict per episode with the same keys and
+        accounting as the serial ``rollout_episode``:
+        ``total_reward``, ``length``, ``mean_queue``, ``empty_ratio``,
+        ``overflow_ratio``.  Episodes are ordered by completion (step, copy
+        index); all copies keep stepping until the quota is reached, so a
+        final lockstep round may finish more episodes than requested — the
+        surplus is discarded deterministically.
+        """
+        if n_episodes < 1:
+            raise ValueError("n_episodes must be >= 1")
+        self._prepare()
+        env = self.vector_env
+        n = env.n_envs
+        episodes = [Episode() for _ in range(n)]
+        queue_sums = np.zeros(n)
+        empty_sums = np.zeros(n)
+        overflow_sums = np.zeros(n)
+        steps = np.zeros(n, dtype=np.int64)
+        completed, completed_stats = [], []
+        while len(completed) < n_episodes:
+            actions = self.actors.act_batch(
+                self._observations, rng, greedy=greedy
+            )
+            result = env.step(actions)
+            self._fresh[:] = False
+            for i in range(n):
+                episodes[i].add(
+                    self._states[i],
+                    self._observations[i],
+                    actions[i],
+                    result.rewards[i],
+                    result.final_states[i],
+                    result.final_observations[i],
+                    result.dones[i],
+                )
+                queue_sums[i] += result.mean_queues[i]
+                empty_sums[i] += result.empty_ratios[i]
+                overflow_sums[i] += result.overflow_ratios[i]
+                steps[i] += 1
+                if result.dones[i]:
+                    episode = episodes[i].finish()
+                    completed.append(episode)
+                    completed_stats.append({
+                        "total_reward": episode.total_reward,
+                        "length": int(steps[i]),
+                        "mean_queue": float(queue_sums[i] / steps[i]),
+                        "empty_ratio": float(empty_sums[i] / steps[i]),
+                        "overflow_ratio": float(overflow_sums[i] / steps[i]),
+                    })
+                    episodes[i] = Episode()
+                    queue_sums[i] = empty_sums[i] = overflow_sums[i] = 0.0
+                    steps[i] = 0
+                    self._fresh[i] = True
+            self._observations = result.observations
+            self._states = result.states
+        return completed[:n_episodes], completed_stats[:n_episodes]
+
+    def __repr__(self):
+        return (
+            f"VectorRolloutCollector(n_envs={self.n_envs}, "
+            f"n_agents={self.actors.n_agents})"
+        )

@@ -12,15 +12,25 @@ One trainer epoch:
 
 The buffer is cleared after each update (MAPG is on-policy; see
 :mod:`repro.marl.buffer`).
+
+Collection (step 1) has two interchangeable engines: the serial reference
+:func:`rollout_episode` (ground truth, one env at a time), and the
+vectorized path (``TrainingConfig.rollout_envs`` lockstep env copies +
+batched policy inference; see :mod:`repro.envs.vector` and
+:mod:`repro.marl.rollout`).  With one env copy the vectorized engine is
+bit-identical to the serial loop — same RNG streams, same episodes, same
+metrics — which the determinism regression tests pin down.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.envs.vector import make_vector_env
 from repro.marl import mapg
 from repro.marl.buffer import Episode, RolloutBuffer
 from repro.marl.metrics import MetricsHistory
+from repro.marl.rollout import VectorRolloutCollector
 from repro.nn.optim import Adam, clip_grad_norm
 
 __all__ = ["CTDETrainer", "rollout_episode"]
@@ -96,6 +106,7 @@ class CTDETrainer:
         self.buffer = RolloutBuffer(capacity=max(64, config.episodes_per_epoch))
         self.history = MetricsHistory()
         self.epoch = 0
+        self._collector = None
 
         actor_params = actor_group.parameters()
         self.actor_optimizer = (
@@ -111,8 +122,63 @@ class CTDETrainer:
         self.target_critic.load_state_dict(self.critic.state_dict())
 
     def collect_episode(self, greedy=False):
-        """Roll out one episode with the current policies."""
+        """Roll out one episode with the current policies (serial reference)."""
         return rollout_episode(self.env, self.actors, self.rng, greedy=greedy)
+
+    @property
+    def rollout_envs(self):
+        """Effective lockstep env copies for epoch collection.
+
+        Clamped to the largest divisor of ``episodes_per_epoch`` not above
+        the configured count: with fixed-length episodes all copies finish
+        in lockstep, so a non-divisor count would fully collect — then
+        silently discard — up to ``n_envs - 1`` surplus episodes every
+        epoch.  A divisor wastes nothing.
+        """
+        configured = min(self.config.rollout_envs, self.config.episodes_per_epoch)
+        while self.config.episodes_per_epoch % configured:
+            configured -= 1
+        return configured
+
+    @property
+    def vectorized_rollouts(self):
+        """Whether epoch collection goes through the vectorized engine."""
+        mode = self.config.rollout_mode
+        if mode == "serial":
+            return False
+        if mode == "vector":
+            return True
+        return self.rollout_envs > 1
+
+    def vector_collector(self):
+        """The lazily built vectorized collection engine.
+
+        Built once and kept across epochs: copy 0 shares ``self.env``'s
+        generator (so one-copy vectorized collection is bit-identical to the
+        serial loop) and the auto-reset state carries over between epochs
+        exactly like consecutive serial ``env.reset()`` calls.
+        """
+        if self._collector is None:
+            vector_env = make_vector_env(self.env, self.rollout_envs)
+            self._collector = VectorRolloutCollector(vector_env, self.actors)
+        return self._collector
+
+    def collect_episodes(self, n_episodes, greedy=False):
+        """Collect ``n_episodes`` episodes; returns ``(episodes, stats)`` lists.
+
+        Dispatches to the vectorized engine or the serial reference loop
+        according to ``TrainingConfig.rollout_mode``.
+        """
+        if self.vectorized_rollouts:
+            return self.vector_collector().collect(
+                n_episodes, self.rng, greedy=greedy
+            )
+        episodes, all_stats = [], []
+        for _ in range(n_episodes):
+            episode, stats = self.collect_episode(greedy=greedy)
+            episodes.append(episode)
+            all_stats.append(stats)
+        return episodes, all_stats
 
     # -- updates ----------------------------------------------------------------
 
@@ -163,11 +229,10 @@ class CTDETrainer:
         """Collect one batch of episodes, update once, record metrics."""
         cfg = self.config
         self.buffer.clear()
-        episode_stats = []
-        for _ in range(cfg.episodes_per_epoch):
-            episode, stats = self.collect_episode(greedy=False)
-            self.buffer.add_episode(episode)
-            episode_stats.append(stats)
+        episodes, episode_stats = self.collect_episodes(
+            cfg.episodes_per_epoch, greedy=False
+        )
+        self.buffer.add_episodes(episodes)
 
         update_stats = self.update(self.buffer.batch())
 

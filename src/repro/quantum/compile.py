@@ -116,23 +116,39 @@ class CompiledCircuit:
     def evolve(self, inputs=None, weights=None, batch_size=None):
         """Final states: encoding pass + one cached-unitary matmul.
 
-        With 2-D weights ``(N, n_weights)``, the input batch must also have
-        ``N`` rows (sample ``i`` uses weight row ``i``) — the ensemble
-        evaluation used for team rollouts.
+        With 2-D weights ``(G, n_weights)``, the input batch must have
+        ``k * G`` rows for integer ``k >= 1``; row ``b`` uses weight row
+        ``b % G`` (group-major tiling).  ``k = 1`` is the plain ensemble
+        evaluation used for team rollouts; ``k > 1`` is the vectorized
+        rollout over ``k`` lockstep env copies.  Only the ``G`` distinct
+        suffix unitaries are ever compiled and cached — the cache key does
+        not depend on ``k``, so alternating batch sizes (collection vs.
+        serial evaluation) never recompiles.
         """
         inputs_arr, batch = _normalise_run_args(self.circuit, inputs, batch_size)
         n = self.circuit.n_qubits
+        weights_arr = None if weights is None else np.asarray(weights)
+        prefix_weights = weights_arr
+        if weights_arr is not None and weights_arr.ndim == 2:
+            n_sets = weights_arr.shape[0]
+            if batch != n_sets:
+                if batch % n_sets:
+                    raise ValueError(
+                        f"{n_sets} weight rows for batch {batch}"
+                    )
+                prefix_weights = np.tile(weights_arr, (batch // n_sets, 1))
         psi = _sv.zero_state(n, batch)
         for op in self._prefix:
-            theta = self.circuit.resolve_angle(op, inputs_arr, weights)
+            theta = self.circuit.resolve_angle(op, inputs_arr, prefix_weights)
             psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
 
-        unitary = self.suffix_unitary(weights)
+        unitary = self.suffix_unitary(weights_arr)
         if unitary.ndim == 3:
-            if unitary.shape[0] != batch:
-                raise ValueError(
-                    f"{unitary.shape[0]} weight rows for batch {batch}"
-                )
+            n_sets, dim = unitary.shape[0], unitary.shape[1]
+            if batch != n_sets:
+                psi = psi.reshape(batch // n_sets, n_sets, dim)
+                psi = np.einsum("gij,kgj->kgi", unitary, psi)
+                return psi.reshape(batch, dim)
             return np.einsum("bij,bj->bi", unitary, psi)
         return psi @ unitary.T
 

@@ -4,6 +4,13 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running integration tests (excluded by the CI fast job)",
+    )
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

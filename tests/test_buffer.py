@@ -116,3 +116,45 @@ class TestRolloutBuffer:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             RolloutBuffer(capacity=0)
+
+
+class TestAddEpisodesBatch:
+    """Capacity semantics: N parallel episodes must never self-evict."""
+
+    def test_batch_within_capacity_keeps_order(self):
+        buffer = RolloutBuffer(capacity=4)
+        batch = [make_episode(1), make_episode(2), make_episode(3)]
+        buffer.add_episodes(batch)
+        assert buffer.episodes == batch
+
+    def test_batch_exceeding_capacity_rejected_atomically(self):
+        buffer = RolloutBuffer(capacity=2)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            buffer.add_episodes([make_episode(1) for _ in range(3)])
+        assert buffer.n_episodes == 0  # nothing partially stored
+
+    def test_batch_at_exact_capacity_accepted(self):
+        buffer = RolloutBuffer(capacity=3)
+        buffer.add_episodes([make_episode(1) for _ in range(3)])
+        assert buffer.n_episodes == 3
+
+    def test_batch_evicts_older_episodes_only(self):
+        buffer = RolloutBuffer(capacity=3)
+        old = make_episode(1)
+        buffer.add_episode(old)
+        batch = [make_episode(2), make_episode(3), make_episode(4)]
+        buffer.add_episodes(batch)
+        assert buffer.n_episodes == 3
+        assert old not in buffer.episodes
+        assert buffer.episodes == batch
+
+    def test_empty_batch_is_noop(self):
+        buffer = RolloutBuffer(capacity=2)
+        buffer.add_episodes([])
+        assert buffer.n_episodes == 0
+
+    def test_unfinished_episode_in_batch_rejected_atomically(self):
+        buffer = RolloutBuffer(capacity=4)
+        with pytest.raises(ValueError, match="finished"):
+            buffer.add_episodes([make_episode(1), Episode()])
+        assert buffer.n_episodes == 0  # the finished episode was not stored

@@ -113,6 +113,28 @@ class TestCaching:
         with pytest.raises(ValueError):
             compiled.run(rng.uniform(size=(2, 2)), weights)
 
+    def test_ensemble_weights_cycle_over_batch(self, rng):
+        """Batch k*G with G weight rows: row b uses weight row b % G."""
+        vqc = build_vqc(3, 3, 12, seed=5)
+        n_sets, k = 3, 4
+        weights = np.stack([vqc.initial_weights(rng) for _ in range(n_sets)])
+        inputs = rng.uniform(size=(k * n_sets, 3))
+        compiled = CompiledCircuit(vqc.circuit, vqc.observables)
+        outputs = compiled.run(inputs, weights)
+        exact = StatevectorBackend().run(
+            vqc.circuit,
+            vqc.observables,
+            inputs,
+            np.tile(weights, (k, 1)),
+        )
+        assert np.allclose(outputs, exact, atol=1e-12)
+        # Only the distinct suffix unitaries are cached, keyed
+        # independently of the batch tiling factor.
+        assert compiled._cached_unitary.shape[0] == n_sets
+        cached = compiled._cached_unitary
+        compiled.run(inputs[: 2 * n_sets], weights)
+        assert compiled._cached_unitary is cached
+
     def test_run_without_observables_rejected(self, rng):
         vqc = build_vqc(2, 2, 8, seed=6)
         compiled = CompiledCircuit(vqc.circuit)

@@ -138,6 +138,29 @@ class TestTrainingAndEvaluation:
         stats = fw.evaluate(n_episodes=2)
         assert stats["total_reward"] <= 0.0
 
+    def test_evaluate_vectorized(self):
+        fw = build_framework("comp2", env_config=ENV, train_config=TRAIN)
+        stats = fw.evaluate(n_episodes=3, vectorized=True)
+        assert set(stats) == {
+            "total_reward", "length", "mean_queue", "empty_ratio",
+            "overflow_ratio",
+        }
+        assert stats["length"] == 5
+        assert stats["total_reward"] <= 0.0
+
+    def test_rollout_envs_override(self):
+        fw = build_framework(
+            "comp2", env_config=ENV,
+            train_config=TrainingConfig(
+                episodes_per_epoch=4, actor_lr=1e-3, critic_lr=1e-3
+            ),
+            rollout_envs=4,
+        )
+        assert fw.trainer.config.rollout_envs == 4
+        assert fw.trainer.vectorized_rollouts
+        history = fw.train(n_epochs=1)
+        assert history.n_epochs == 1
+
     def test_random_evaluation_stochastic(self):
         fw = build_framework("random", env_config=ENV)
         stats = fw.evaluate(n_episodes=3)

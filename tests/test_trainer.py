@@ -6,12 +6,16 @@ import pytest
 from repro.config import SingleHopConfig, TrainingConfig
 from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.marl.actors import ActorGroup, ClassicalActor, RandomActor
+from repro.marl.frameworks import build_framework
 from repro.marl.critics import ClassicalCentralCritic
 from repro.marl.trainer import CTDETrainer, rollout_episode
 
 
-def tiny_setup(seed=0, episode_limit=6, **train_overrides):
-    env_config = SingleHopConfig(episode_limit=episode_limit)
+def tiny_setup(seed=0, episode_limit=6, initial_queue_level=0.5,
+               **train_overrides):
+    env_config = SingleHopConfig(
+        episode_limit=episode_limit, initial_queue_level=initial_queue_level
+    )
     rng = np.random.default_rng(seed)
     env = SingleHopOffloadEnv(env_config, rng=np.random.default_rng(seed + 1))
     actors = ActorGroup(
@@ -164,3 +168,98 @@ class TestTrainerMechanics:
         trainer = tiny_setup(entropy_coef=0.05)
         record = trainer.train_epoch()
         assert np.isfinite(record["actor_loss"])
+
+
+class TestVectorizedCollection:
+    """Determinism regressions for the vectorized rollout engine."""
+
+    @pytest.mark.parametrize("initial_queue_level", [0.5, "uniform"])
+    def test_vector_n1_bit_identical_to_serial(self, initial_queue_level):
+        """Same seed => bit-identical train_epoch metrics, serial vs N=1."""
+        serial = tiny_setup(
+            seed=3, initial_queue_level=initial_queue_level,
+            rollout_mode="serial",
+        )
+        vector = tiny_setup(
+            seed=3, initial_queue_level=initial_queue_level,
+            rollout_mode="vector", rollout_envs=1,
+        )
+        assert not serial.vectorized_rollouts
+        assert vector.vectorized_rollouts
+        for _ in range(3):
+            record_s = serial.train_epoch()
+            record_v = vector.train_epoch()
+            assert record_s.keys() == record_v.keys()
+            for key in record_s:
+                assert record_s[key] == record_v[key], key
+
+    def test_vector_n1_bit_identical_quantum(self):
+        """The quantum framework's batched inference path is also exact."""
+        env_config = SingleHopConfig(episode_limit=5)
+        records = {}
+        for mode in ("serial", "vector"):
+            train = TrainingConfig(
+                episodes_per_epoch=2, actor_lr=1e-3, critic_lr=1e-3,
+                rollout_mode=mode, rollout_envs=1,
+            )
+            fw = build_framework(
+                "proposed", seed=7, env_config=env_config, train_config=train
+            )
+            records[mode] = [fw.trainer.train_epoch() for _ in range(2)]
+        for record_s, record_v in zip(records["serial"], records["vector"]):
+            for key in record_s:
+                assert record_s[key] == record_v[key], key
+
+    def test_vector_n8_run_to_run_deterministic(self):
+        """Same seed => identical metrics across runs at N=8."""
+        def run():
+            trainer = tiny_setup(
+                seed=5, episodes_per_epoch=8, rollout_envs=8
+            )
+            assert trainer.vectorized_rollouts
+            assert trainer.rollout_envs == 8
+            return [trainer.train_epoch() for _ in range(2)]
+
+        assert run() == run()
+
+    def test_rollout_envs_clamped_to_episodes_per_epoch(self):
+        trainer = tiny_setup(episodes_per_epoch=2, rollout_envs=16)
+        assert trainer.rollout_envs == 2
+        record = trainer.train_epoch()
+        assert trainer.buffer.n_episodes == 2
+        assert np.isfinite(record["total_reward"])
+
+    def test_rollout_envs_clamped_to_divisor(self):
+        """A non-divisor copy count would discard whole episodes each epoch."""
+        trainer = tiny_setup(episodes_per_epoch=6, rollout_envs=4)
+        assert trainer.rollout_envs == 3
+        trainer.train_epoch()
+        assert trainer.buffer.n_episodes == 6
+        assert tiny_setup(episodes_per_epoch=7, rollout_envs=4).rollout_envs == 1
+        assert tiny_setup(episodes_per_epoch=8, rollout_envs=4).rollout_envs == 4
+
+    def test_auto_mode_engages_vector_path(self):
+        assert not tiny_setup(rollout_envs=1).vectorized_rollouts
+        assert tiny_setup(episodes_per_epoch=4, rollout_envs=4).vectorized_rollouts
+
+    def test_collect_episodes_matches_serial_accounting(self):
+        trainer = tiny_setup(episodes_per_epoch=4, rollout_envs=4)
+        episodes, stats = trainer.collect_episodes(4)
+        assert len(episodes) == 4 and len(stats) == 4
+        for episode, stat in zip(episodes, stats):
+            assert episode.length == 6
+            assert stat["length"] == 6
+            assert stat["total_reward"] == pytest.approx(episode.total_reward)
+            assert set(stat) == {
+                "total_reward", "length", "mean_queue", "empty_ratio",
+                "overflow_ratio",
+            }
+
+    def test_vectorized_training_updates_parameters(self):
+        trainer = tiny_setup(episodes_per_epoch=4, rollout_envs=4)
+        before = [p.data.copy() for p in trainer.actors.parameters()]
+        trainer.train_epoch()
+        after = trainer.actors.parameters()
+        assert any(
+            not np.allclose(b, a.data) for b, a in zip(before, after)
+        )

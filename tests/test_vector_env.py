@@ -1,0 +1,316 @@
+"""Equivalence property tests: vector envs vs. N independent serial envs.
+
+The serial environments are ground truth.  For seeded RNG streams, a
+``VectorEnv(N)`` must match ``N`` independent serial environments
+step-for-step — observations, global state, rewards, ``info`` dicts and
+done flags — and ``act_batch`` must agree with per-observation ``act``
+under greedy decoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SingleHopConfig
+from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.envs.vector import (
+    MultiHopVectorEnv,
+    SingleHopVectorEnv,
+    make_vector_env,
+)
+from repro.marl.actors import ActorGroup, ClassicalActor, RandomActor
+from repro.marl.frameworks import build_framework
+
+
+def serial_single_hop(n_envs, cfg, base_seed=100):
+    return [
+        SingleHopOffloadEnv(cfg, rng=np.random.default_rng(base_seed + i))
+        for i in range(n_envs)
+    ]
+
+
+def vector_single_hop(n_envs, cfg, base_seed=100, **kwargs):
+    rngs = [np.random.default_rng(base_seed + i) for i in range(n_envs)]
+    return SingleHopVectorEnv(n_envs, config=cfg, rngs=rngs, **kwargs)
+
+
+def assert_info_equal(serial_info, vector_info):
+    assert serial_info.keys() == vector_info.keys()
+    for key, value in serial_info.items():
+        assert np.array_equal(
+            np.asarray(value), np.asarray(vector_info[key])
+        ), f"info[{key!r}] diverged"
+
+
+class TestSingleHopEquivalence:
+    @pytest.mark.parametrize("initial_level", [0.5, "uniform"])
+    def test_step_for_step_vs_serial(self, initial_level):
+        cfg = SingleHopConfig(episode_limit=6, initial_queue_level=initial_level)
+        n_envs = 5
+        serial = serial_single_hop(n_envs, cfg)
+        vector = vector_single_hop(n_envs, cfg)
+
+        obs_v, state_v = vector.reset()
+        for i, env in enumerate(serial):
+            obs_s, state_s = env.reset()
+            assert np.array_equal(np.stack(obs_s), obs_v[i])
+            assert np.array_equal(state_s, state_v[i])
+
+        action_rng = np.random.default_rng(0)
+        for _ in range(2 * cfg.episode_limit + 3):
+            actions = action_rng.integers(
+                0, cfg.n_actions, size=(n_envs, cfg.n_agents)
+            )
+            result = vector.step(actions)
+            for i, env in enumerate(serial):
+                serial_result = env.step(list(actions[i]))
+                assert np.array_equal(
+                    np.stack(serial_result.observations),
+                    result.final_observations[i],
+                )
+                assert np.array_equal(
+                    serial_result.state, result.final_states[i]
+                )
+                assert serial_result.reward == result.rewards[i]
+                assert serial_result.done == bool(result.dones[i])
+                assert_info_equal(serial_result.info, result.infos[i])
+                if serial_result.done:
+                    # Auto-reset must draw exactly what a serial reset draws.
+                    obs_s, state_s = env.reset()
+                    assert np.array_equal(np.stack(obs_s), result.observations[i])
+                    assert np.array_equal(state_s, result.states[i])
+
+    def test_vectorized_stats_match_info_dicts(self):
+        """The hot-path stat arrays equal the lazily built info values."""
+        cfg = SingleHopConfig(episode_limit=5)
+        vector = vector_single_hop(4, cfg)
+        vector.reset()
+        action_rng = np.random.default_rng(3)
+        for _ in range(5):
+            actions = action_rng.integers(0, cfg.n_actions, size=(4, cfg.n_agents))
+            result = vector.step(actions)
+            infos = result.infos
+            for i in range(4):
+                assert result.mean_queues[i] == infos[i]["mean_queue"]
+                assert result.empty_ratios[i] == infos[i]["empty_ratio"]
+                assert result.overflow_ratios[i] == infos[i]["overflow_ratio"]
+
+    def test_conserve_packets_mode(self):
+        cfg = SingleHopConfig(episode_limit=4, conserve_packets=True)
+        serial = serial_single_hop(3, cfg)
+        vector = vector_single_hop(3, cfg)
+        vector.reset()
+        [env.reset() for env in serial]
+        action_rng = np.random.default_rng(1)
+        for _ in range(4):
+            actions = action_rng.integers(0, cfg.n_actions, size=(3, cfg.n_agents))
+            result = vector.step(actions)
+            for i, env in enumerate(serial):
+                serial_result = env.step(list(actions[i]))
+                assert serial_result.reward == result.rewards[i]
+                assert np.array_equal(
+                    serial_result.info["sent"], result.infos[i]["sent"]
+                )
+
+    def test_make_vector_env_row0_shares_serial_stream(self):
+        cfg = SingleHopConfig(episode_limit=4, initial_queue_level="uniform")
+        reference = SingleHopOffloadEnv(cfg, rng=np.random.default_rng(9))
+        source = SingleHopOffloadEnv(cfg, rng=np.random.default_rng(9))
+        vector = make_vector_env(source, 3)
+        assert vector.rngs[0] is source.rng
+
+        obs_v, _ = vector.reset()
+        obs_s, _ = reference.reset()
+        assert np.array_equal(np.stack(obs_s), obs_v[0])
+        actions = np.zeros((3, cfg.n_agents), dtype=np.int64)
+        result = vector.step(actions)
+        serial_result = reference.step([0] * cfg.n_agents)
+        assert serial_result.reward == result.rewards[0]
+        assert np.array_equal(
+            np.stack(serial_result.observations), result.final_observations[0]
+        )
+
+    def test_auto_reset_disabled_keeps_terminal_state(self):
+        cfg = SingleHopConfig(episode_limit=2)
+        vector = vector_single_hop(2, cfg, auto_reset=False)
+        vector.reset()
+        actions = np.zeros((2, cfg.n_agents), dtype=np.int64)
+        vector.step(actions)
+        result = vector.step(actions)
+        assert result.dones.all()
+        assert np.array_equal(result.observations, result.final_observations)
+
+    def test_action_validation(self):
+        cfg = SingleHopConfig(episode_limit=3)
+        vector = vector_single_hop(2, cfg)
+        vector.reset()
+        with pytest.raises(ValueError, match="shape"):
+            vector.step(np.zeros((3, cfg.n_agents), dtype=np.int64))
+        with pytest.raises(ValueError, match="action indices"):
+            vector.step(np.full((2, cfg.n_agents), cfg.n_actions))
+
+    def test_rng_count_validation(self):
+        cfg = SingleHopConfig(episode_limit=3)
+        with pytest.raises(ValueError, match="generators"):
+            SingleHopVectorEnv(3, config=cfg, rngs=[np.random.default_rng(0)])
+        with pytest.raises(ValueError, match="n_envs"):
+            SingleHopVectorEnv(0, config=cfg)
+
+
+class TestMultiHopEquivalence:
+    @pytest.mark.parametrize("full_mesh", [True, False])
+    def test_step_for_step_vs_serial(self, full_mesh):
+        topology = layered_topology((3, 2, 2), full_mesh=full_mesh)
+        n_envs = 4
+        serial = [
+            MultiHopOffloadEnv(
+                topology, episode_limit=5, rng=np.random.default_rng(40 + i)
+            )
+            for i in range(n_envs)
+        ]
+        vector = MultiHopVectorEnv(
+            n_envs,
+            topology,
+            episode_limit=5,
+            rngs=[np.random.default_rng(40 + i) for i in range(n_envs)],
+        )
+
+        obs_v, state_v = vector.reset()
+        for i, env in enumerate(serial):
+            obs_s, state_s = env.reset()
+            assert np.array_equal(np.stack(obs_s), obs_v[i])
+            assert np.array_equal(state_s, state_v[i])
+
+        action_rng = np.random.default_rng(2)
+        for _ in range(11):
+            actions = action_rng.integers(
+                0, vector.n_actions, size=(n_envs, vector.n_agents)
+            )
+            result = vector.step(actions)
+            for i, env in enumerate(serial):
+                serial_result = env.step(list(actions[i]))
+                assert np.array_equal(
+                    np.stack(serial_result.observations),
+                    result.final_observations[i],
+                )
+                assert serial_result.reward == result.rewards[i]
+                assert serial_result.done == bool(result.dones[i])
+                assert_info_equal(serial_result.info, result.infos[i])
+                if serial_result.done:
+                    env.reset()
+
+    def test_make_vector_env_dispatch(self):
+        topology = layered_topology((2, 2))
+        env = MultiHopOffloadEnv(
+            topology, episode_limit=4, rng=np.random.default_rng(3)
+        )
+        vector = make_vector_env(env, 2)
+        assert isinstance(vector, MultiHopVectorEnv)
+        assert vector.n_agents == env.n_agents
+        assert vector.episode_limit == env.episode_limit
+
+    def test_make_vector_env_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            make_vector_env(object(), 2)
+
+    def test_multi_hop_trainer_vectorized(self):
+        """The vector path also drives CTDE training on multi-hop envs."""
+        from repro.config import TrainingConfig
+        from repro.marl.critics import ClassicalCentralCritic
+        from repro.marl.trainer import CTDETrainer
+
+        topology = layered_topology((2, 2))
+        env = MultiHopOffloadEnv(
+            topology, episode_limit=4, rng=np.random.default_rng(6)
+        )
+        rng = np.random.default_rng(0)
+        actors = ActorGroup(
+            [
+                ClassicalActor(
+                    env.observation_size, env.n_actions, (4,), rng
+                )
+                for _ in range(env.n_agents)
+            ]
+        )
+        critic = ClassicalCentralCritic(env.state_size, (4,), rng)
+        target = ClassicalCentralCritic(
+            env.state_size, (4,), np.random.default_rng(1)
+        )
+        config = TrainingConfig(
+            episodes_per_epoch=4, actor_lr=1e-2, critic_lr=1e-2,
+            rollout_envs=4,
+        )
+        trainer = CTDETrainer(env, actors, critic, target, config, rng)
+        assert trainer.vectorized_rollouts
+        record = trainer.train_epoch()
+        assert np.isfinite(record["total_reward"])
+        assert trainer.buffer.n_episodes == 4
+
+
+def classical_group(cfg, seed=0):
+    rng = np.random.default_rng(seed)
+    return ActorGroup(
+        [
+            ClassicalActor(cfg.observation_size, cfg.n_actions, (5,), rng)
+            for _ in range(cfg.n_agents)
+        ]
+    )
+
+
+class TestActBatch:
+    def test_greedy_agrees_with_serial_act_classical(self):
+        cfg = SingleHopConfig()
+        group = classical_group(cfg)
+        rng = np.random.default_rng(4)
+        observations = rng.uniform(size=(6, cfg.n_agents, cfg.observation_size))
+        batch = group.act_batch(observations, rng, greedy=True)
+        for i in range(observations.shape[0]):
+            serial = group.act(list(observations[i]), rng, greedy=True)
+            assert list(batch[i]) == serial
+
+    def test_greedy_agrees_with_serial_act_quantum(self):
+        cfg = SingleHopConfig(episode_limit=5)
+        framework = build_framework("proposed", seed=2, env_config=cfg)
+        group = framework.actors
+        rng = np.random.default_rng(5)
+        observations = rng.uniform(size=(4, cfg.n_agents, cfg.observation_size))
+        batch = group.act_batch(observations, rng, greedy=True)
+        for i in range(observations.shape[0]):
+            serial = group.act(list(observations[i]), rng, greedy=True)
+            assert list(batch[i]) == serial
+
+    def test_batch_probabilities_match_per_observation(self):
+        cfg = SingleHopConfig(episode_limit=5)
+        framework = build_framework("proposed", seed=3, env_config=cfg)
+        group = framework.actors
+        rng = np.random.default_rng(6)
+        observations = rng.uniform(size=(3, cfg.n_agents, cfg.observation_size))
+        probs = group.batch_probabilities(observations)
+        for i in range(3):
+            for n, actor in enumerate(group.actors):
+                expected = actor.probabilities(observations[i, n])[0]
+                assert np.allclose(probs[i, n], expected, atol=1e-12)
+
+    def test_sampling_stream_matches_serial_act(self):
+        """A one-copy act_batch consumes rng exactly like serial act."""
+        cfg = SingleHopConfig()
+        group = classical_group(cfg)
+        observations = np.random.default_rng(7).uniform(
+            size=(1, cfg.n_agents, cfg.observation_size)
+        )
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        batch = group.act_batch(observations, rng_a)
+        serial = group.act(list(observations[0]), rng_b)
+        assert list(batch[0]) == serial
+        assert rng_a.random() == rng_b.random()  # identical stream position
+
+    def test_random_actor_batch(self):
+        group = ActorGroup([RandomActor(4) for _ in range(3)])
+        rng = np.random.default_rng(8)
+        observations = np.zeros((5, 3, 2))
+        actions = group.act_batch(observations, rng)
+        assert actions.shape == (5, 3)
+        assert actions.min() >= 0 and actions.max() < 4
+        with pytest.raises(RuntimeError, match="greedy"):
+            group.act_batch(observations, rng, greedy=True)
