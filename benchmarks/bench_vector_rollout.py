@@ -14,14 +14,20 @@ Run under the benchmark harness::
 
     pytest benchmarks/bench_vector_rollout.py --benchmark-only
 
-or standalone for a steps/sec summary table::
+or standalone for a steps/sec summary table (also written as the
+machine-readable ``BENCH_vector_rollout.json`` so the perf trajectory is
+tracked across PRs)::
 
     PYTHONPATH=src python benchmarks/bench_vector_rollout.py
 """
 
+import argparse
+import os
 import time
 
 import numpy as np
+
+from benchio import write_bench_json
 
 from repro.config import SingleHopConfig
 from repro.envs.single_hop import SingleHopOffloadEnv
@@ -112,6 +118,9 @@ def _measure(fn, env_steps, repeats=3):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json-dir", default=None)
+    args = parser.parse_args()
     rng = np.random.default_rng(SEED + 1)
     actors = _build_actors()
     env = SingleHopOffloadEnv(
@@ -121,6 +130,8 @@ def main():
     serial_rate = _measure(
         lambda: _serial_episode(env, actors, rng), EPISODE_LIMIT
     )
+    engines = {"serial": {"env_steps_per_s": serial_rate, "n_envs": 1,
+                          "speedup_vs_serial": 1.0}}
     print(f"{'path':>12}  {'env steps/s':>12}  {'speedup':>8}")
     print(f"{'serial':>12}  {serial_rate:>12.1f}  {1.0:>7.2f}x")
     for n_envs in VECTOR_SIZES:
@@ -129,10 +140,27 @@ def main():
             lambda: _vector_round(collector, rng),
             n_envs * EPISODE_LIMIT,
         )
+        engines[f"vector_n{n_envs}"] = {
+            "env_steps_per_s": rate,
+            "n_envs": n_envs,
+            "speedup_vs_serial": rate / serial_rate,
+        }
         print(
             f"{f'vector N={n_envs}':>12}  {rate:>12.1f}  "
             f"{rate / serial_rate:>7.2f}x"
         )
+    path = write_bench_json(
+        "BENCH_vector_rollout.json",
+        {
+            "benchmark": "vector_rollout",
+            "framework": "proposed",
+            "episode_limit": EPISODE_LIMIT,
+            "cpu_count": os.cpu_count(),
+            "engines": engines,
+        },
+        args.json_dir,
+    )
+    print(f"\nwrote {path}")
 
 
 if __name__ == "__main__":

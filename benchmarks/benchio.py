@@ -1,0 +1,38 @@
+"""Shared helpers for machine-readable benchmark artifacts.
+
+Every throughput benchmark writes its results as a ``BENCH_<name>.json``
+document through :func:`write_bench_json` so the format (directory
+resolution, indentation, trailing newline) stays uniform across benches and
+the perf trajectory can be diffed across PRs.  Not a ``bench_*`` module on
+purpose — the pytest-benchmark harness only collects explicitly named bench
+files, and this one holds no benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["write_bench_json"]
+
+
+def write_bench_json(name, document, directory=None):
+    """Write one benchmark's JSON artifact; returns its path.
+
+    Args:
+        name: Artifact file name (``BENCH_<bench>.json``).
+        document: JSON-serialisable result document.
+        directory: Target directory; defaults to ``$REPRO_BENCH_DIR`` or the
+            current working directory.
+    """
+    directory = (
+        directory
+        if directory is not None
+        else os.environ.get("REPRO_BENCH_DIR", ".")
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path

@@ -32,7 +32,20 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--epochs", type=int, default=30)
     parser.add_argument("--seed", type=int, default=7)
+    # Choosing rollout_envs / rollout_workers (full guide:
+    # docs/parallel_rollouts.md):
+    #   - rollout_envs=N batches N lockstep env copies into one circuit
+    #     evaluation per step; nearly free, so raise it first and keep it a
+    #     divisor of episodes_per_epoch (non-divisors are clamped down).
+    #     Changing N changes which RNG streams feed which episodes, so pick
+    #     it once per study (runs stay seed-deterministic either way).
+    #   - rollout_workers=W shards those copies across W worker processes,
+    #     each evaluating its shard's circuits locally.  W is result-neutral:
+    #     any worker count reproduces the in-process N-copy run bit for bit.
+    #     Worth it only with idle cores: try W = cores - 1 with at least ~4
+    #     env rows per worker; on a single-core machine leave it at 1.
     parser.add_argument("--rollout-envs", type=int, default=4)
+    parser.add_argument("--rollout-workers", type=int, default=1)
     args = parser.parse_args()
 
     # -- 1. the VQC of Fig. 1 ------------------------------------------------
@@ -89,14 +102,17 @@ def main():
             entropy_coef=0.01,
             # Collect all episodes of an epoch in parallel: batched env
             # stepping + one circuit evaluation per step for the whole team
-            # across every copy (see repro.envs.vector).
+            # across every copy (see repro.envs.vector), optionally sharded
+            # across worker processes (see repro.marl.parallel).
             rollout_envs=args.rollout_envs,
+            rollout_workers=args.rollout_workers,
         ),
     )
     print()
     print("=" * 72)
     print(f"4. Training the proposed framework ({args.epochs} epochs, "
-          f"{framework.trainer.rollout_envs} lockstep rollout envs)")
+          f"{framework.trainer.rollout_envs} lockstep rollout envs, "
+          f"{framework.trainer.rollout_workers} worker process(es))")
     print("=" * 72)
     print(f"parameter budget: actor {framework.metadata['actor_parameters']} "
           f"x {env_config.n_agents} agents, "
@@ -126,6 +142,10 @@ def main():
     print(f"random-walk return  : {random_walk:.2f}")
     print(f"achievability       : {achievability:.1%} "
           f"(paper reports 90.9% after 1000 epochs)")
+
+    # Releases the sharded rollout worker pool, if one was started
+    # (rollout_workers > 1); harmless otherwise.
+    framework.close()
 
 
 if __name__ == "__main__":

@@ -167,14 +167,21 @@ class TrainingConfig:
         entropy_coef: Optional entropy bonus on the actor loss (0 = paper's
             plain MAPG).
         evaluation_episodes: Greedy-policy episodes used when evaluating.
-        rollout_envs: Lockstep environment copies used for vectorized
-            episode collection (clamped to ``episodes_per_epoch``).  With 1
-            copy the vectorized path consumes RNG streams bit-identically
-            to the serial reference rollout.
-        rollout_mode: ``"auto"`` — vectorize collection when
+        rollout_envs: Lockstep environment copies used for vectorized /
+            sharded episode collection (clamped to ``episodes_per_epoch``).
+            With 1 copy the vectorized path consumes RNG streams
+            bit-identically to the serial reference rollout.
+        rollout_workers: Worker processes the sharded engine splits the
+            lockstep copies across (clamped to the effective copy count).
+            Any worker count is bit-identical to the in-process vectorized
+            path under a fixed seed; 1 keeps collection in-process unless
+            ``rollout_mode="sharded"`` forces the pool.
+        rollout_mode: ``"auto"`` — shard collection across processes when
+            ``rollout_workers > 1``, else vectorize in-process when
             ``rollout_envs > 1`` — or force ``"serial"`` (the reference
-            ``rollout_episode`` loop) / ``"vector"`` (the batched engine,
-            any copy count).
+            ``rollout_episode`` loop) / ``"vector"`` (the in-process batched
+            engine, any copy count) / ``"sharded"`` (the worker-pool engine,
+            any worker count).
     """
 
     n_epochs: int = 1000
@@ -187,7 +194,10 @@ class TrainingConfig:
     entropy_coef: float = 0.0
     evaluation_episodes: int = 8
     rollout_envs: int = 1
+    rollout_workers: int = 1
     rollout_mode: str = "auto"
+
+    _ROLLOUT_MODES = ("auto", "serial", "vector", "sharded")
 
     def __post_init__(self):
         if self.n_epochs < 1 or self.episodes_per_epoch < 1:
@@ -198,11 +208,22 @@ class TrainingConfig:
             raise ValueError("learning rates must be positive")
         if self.target_update_period < 1:
             raise ValueError("target_update_period must be >= 1")
-        if self.rollout_envs < 1:
-            raise ValueError("rollout_envs must be >= 1")
-        if self.rollout_mode not in ("auto", "serial", "vector"):
+        if not isinstance(self.rollout_envs, (int, np.integer)) or self.rollout_envs < 1:
             raise ValueError(
-                f"rollout_mode must be 'auto', 'serial' or 'vector', "
+                f"rollout_envs must be a positive integer, "
+                f"got {self.rollout_envs!r}"
+            )
+        if (
+            not isinstance(self.rollout_workers, (int, np.integer))
+            or self.rollout_workers < 1
+        ):
+            raise ValueError(
+                f"rollout_workers must be a positive integer, "
+                f"got {self.rollout_workers!r}"
+            )
+        if self.rollout_mode not in self._ROLLOUT_MODES:
+            raise ValueError(
+                f"rollout_mode must be one of {self._ROLLOUT_MODES}, "
                 f"got {self.rollout_mode!r}"
             )
 

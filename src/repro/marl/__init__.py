@@ -16,6 +16,7 @@ from repro.marl.frameworks import (
     build_framework,
     evaluate_random_walk,
 )
+from repro.marl.parallel import ShardedRolloutCollector
 from repro.marl.metrics import (
     MetricsHistory,
     achievability,
@@ -48,4 +49,5 @@ __all__ = [
     "rolling_mean",
     "CTDETrainer",
     "rollout_episode",
+    "ShardedRolloutCollector",
 ]

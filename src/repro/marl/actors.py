@@ -22,8 +22,9 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.layers import Module, mlp
 from repro.nn.quantum_layer import QuantumLayer
-from repro.nn.tensor import as_tensor
+from repro.nn.tensor import Tensor, as_tensor
 from repro.quantum.backends import StatevectorBackend
+from repro.quantum.gradients import backward as _qbackward
 
 __all__ = [
     "QuantumActor",
@@ -31,6 +32,7 @@ __all__ = [
     "RandomActor",
     "ActorGroup",
     "QuantumActorGroup",
+    "categorical_from_draws",
 ]
 
 
@@ -40,21 +42,34 @@ def _stable_softmax_np(logits):
     return exps / exps.sum(axis=-1, keepdims=True)
 
 
-def _sample_categorical_rows(probs, rng):
-    """One categorical sample per row of a ``(R, A)`` probability matrix.
+def categorical_from_draws(probs, draws):
+    """One categorical sample per row of ``(R, A)`` probabilities, from the
+    given uniform draws.
 
     Replicates ``numpy.random.Generator.choice(A, p=row)`` exactly — the
-    same normalised-cumsum inversion of the same uniform draws, one per row
-    in row order — so a batched rollout consumes the action stream
-    bit-identically to per-observation serial sampling, while avoiding
-    ``R`` python-level ``choice`` calls per step.
+    same normalised-cumsum inversion, one draw per row in row order.  Split
+    from the draw step so process-sharded rollouts can consume a slice of a
+    globally drawn block (each worker draws the full block from its stream
+    replica and inverts only its shard's rows, keeping the stream bit-aligned
+    with the in-process engine regardless of shard assignment).
     """
     probs = np.asarray(probs, dtype=np.float64)
     cdf = np.cumsum(probs, axis=1)
     cdf /= cdf[:, -1:]
-    draws = rng.random(probs.shape[0])
+    draws = np.asarray(draws, dtype=np.float64)
     actions = (cdf <= draws[:, None]).sum(axis=1)
     return np.minimum(actions, probs.shape[1] - 1)
+
+
+def _sample_categorical_rows(probs, rng):
+    """One categorical sample per row of a ``(R, A)`` probability matrix.
+
+    Same semantics as per-observation serial ``choice`` sampling (see
+    :func:`categorical_from_draws`), while avoiding ``R`` python-level
+    ``choice`` calls per step.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    return categorical_from_draws(probs, rng.random(probs.shape[0]))
 
 
 def born_observables(n_action_qubits):
@@ -155,17 +170,25 @@ class QuantumActor(Module):
         probs = np.clip(probs, self._BORN_EPSILON, None)
         return probs / probs.sum(axis=1, keepdims=True)
 
+    def _born_probs(self, outputs):
+        """Differentiable born probabilities from Z-correlation expectations.
+
+        Shared by the per-actor forward and the group's stacked update path
+        so the head's smoothing can never drift between them.  Clamps the
+        (nonneg-by-construction) probabilities away from 0 so log-policy
+        gradients stay finite under float round-off.
+        """
+        n_outcomes = self._born_signs.shape[0]
+        probs = (outputs @ self._born_signs.T + 1.0) * (1.0 / n_outcomes)
+        return (probs + self._BORN_EPSILON) * (
+            1.0 / (1.0 + self.n_actions * self._BORN_EPSILON)
+        )
+
     def forward(self, observations):
         """Action probabilities as a differentiable ``(B, A)`` tensor."""
         outputs = self.layer(as_tensor(observations))
         if self.policy_head == "born":
-            n_outcomes = self._born_signs.shape[0]
-            probs = (outputs @ self._born_signs.T + 1.0) * (1.0 / n_outcomes)
-            # Clamp the (nonneg-by-construction) probabilities away from 0
-            # so log-policy gradients stay finite under float round-off.
-            return (probs + self._BORN_EPSILON) * (
-                1.0 / (1.0 + self.n_actions * self._BORN_EPSILON)
-            )
+            return self._born_probs(outputs)
         return F.softmax(outputs * self.logit_scale, axis=-1)
 
     def log_policy(self, observations):
@@ -354,6 +377,27 @@ class ActorGroup:
         )
         return flat.reshape(n_envs, n_agents)
 
+    # -- vectorized training --------------------------------------------------
+
+    def stacked_log_policies(self, observations):
+        """Differentiable ``(B, n_agents, A)`` log-policies for an update batch.
+
+        ``observations`` is the transition batch's ``(B, n_agents, obs_size)``
+        array.  The base implementation runs one forward per agent and stacks
+        the results (gradients still flow into every actor);
+        :class:`QuantumActorGroup` overrides it with a *single* batched
+        circuit evaluation over all ``B * n_agents`` rows using per-sample
+        weights — the update-path counterpart of :meth:`batch_probabilities`.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        return F.stack(
+            [
+                actor.log_policy(observations[:, n, :])
+                for n, actor in enumerate(self.actors)
+            ],
+            axis=1,
+        )
+
     def parameters(self):
         """All trainable parameters across the team."""
         params = []
@@ -471,3 +515,52 @@ class QuantumActorGroup(ActorGroup):
         else:
             probs = _stable_softmax_np(outputs * self._logit_scale)
         return probs.reshape(n_envs, n_agents, -1)
+
+    def _stacked_expectations(self, observations):
+        """Differentiable ``(B * n_agents, n_obs)`` team expectations.
+
+        One batched circuit evaluation with per-sample weights (the agents'
+        weight rows cycled over the batch) whose backward pass runs one
+        adjoint sweep for the whole team and routes each agent's slice of
+        the per-sample weight gradient back into that agent's own
+        ``Parameter``.
+        """
+        b, n_agents = observations.shape[0], observations.shape[1]
+        flat_obs = observations.reshape(b * n_agents, -1)
+        weight_params = [actor.layer.weights for actor in self.actors]
+        tiled = np.tile(np.stack([w.data for w in weight_params]), (b, 1))
+        backend = self._fast_backend
+        circuit, observables = self._circuit, self._observables
+
+        out_data = backend.run(circuit, observables, flat_obs, tiled)
+
+        def backward_fn(grad):
+            _, weight_grads = _qbackward(
+                circuit, observables, flat_obs, tiled, grad, method="adjoint"
+            )
+            per_agent = weight_grads.reshape(b, n_agents, -1).sum(axis=0)
+            for n, param in enumerate(weight_params):
+                param._accumulate(per_agent[n])
+
+        return Tensor._from_op(out_data, tuple(weight_params), backward_fn)
+
+    def stacked_log_policies(self, observations):
+        """``(B, n_agents, A)`` log-policies from one circuit evaluation.
+
+        Replaces the per-agent training forwards with a single batched call
+        (and a single adjoint reverse sweep on backward).  Falls back to the
+        per-agent path for inexact backends or non-adjoint gradient methods,
+        where per-sample-weight batching is not available.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        if self._fast_backend is None or any(
+            actor.layer.gradient_method != "adjoint" for actor in self.actors
+        ):
+            return super().stacked_log_policies(observations)
+        b, n_agents = observations.shape[0], observations.shape[1]
+        outputs = self._stacked_expectations(observations)
+        if self._head_actor.policy_head == "born":
+            log_flat = F.log(self._head_actor._born_probs(outputs))
+        else:
+            log_flat = F.log_softmax(outputs * self._logit_scale, axis=-1)
+        return log_flat.reshape(b, n_agents, -1)

@@ -113,6 +113,17 @@ class Framework:
             for key in all_stats[0]
         }
 
+    def close(self):
+        """Release external resources (the sharded rollout worker pool)."""
+        if self.trainer is not None:
+            self.trainer.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()
+
     def achievability(self, random_walk_return, window=20):
         """Min-max normalised return vs the random walk (Section IV-D)."""
         if self.trainer is None or self.trainer.history.n_epochs == 0:
@@ -206,6 +217,7 @@ def build_framework(
     comp2_net=COMP2_NET,
     comp3_net=COMP3_NET,
     rollout_envs=None,
+    rollout_workers=None,
 ):
     """Construct one experimental arm, fully wired and reproducibly seeded.
 
@@ -225,6 +237,11 @@ def build_framework(
             ``train_config.rollout_envs`` — the number of lockstep env
             copies the trainer collects episodes with (vectorized rollout
             engine; serial reference when 1).
+        rollout_workers: Convenience override of
+            ``train_config.rollout_workers`` — the number of worker
+            processes the sharded rollout engine splits those copies across
+            (in-process when 1; call ``framework.close()`` when done to shut
+            the pool down).
     """
     if name not in FRAMEWORK_NAMES:
         raise ValueError(f"unknown framework {name!r}; choose from {FRAMEWORK_NAMES}")
@@ -233,6 +250,8 @@ def build_framework(
     train_config = train_config if train_config is not None else TrainingConfig()
     if rollout_envs is not None:
         train_config = replace(train_config, rollout_envs=int(rollout_envs))
+    if rollout_workers is not None:
+        train_config = replace(train_config, rollout_workers=int(rollout_workers))
     seeds = SeedSequenceFactory(seed)
 
     if noise_model is not None or shots is not None:

@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.nn import functional as F
 
-__all__ = ["td_targets", "td_errors", "actor_loss", "critic_loss", "entropy_bonus"]
+__all__ = [
+    "td_targets",
+    "td_errors",
+    "actor_loss",
+    "team_actor_loss",
+    "critic_loss",
+    "entropy_bonus",
+]
 
 
 def td_targets(rewards, next_values, dones, gamma):
@@ -57,6 +64,34 @@ def actor_loss(log_probs, actions, advantages):
     taken = F.gather(log_probs, np.asarray(actions, dtype=np.int64))
     advantages = np.asarray(advantages, dtype=np.float64)
     return -(taken * advantages).mean()
+
+
+def team_actor_loss(log_probs, actions, advantages, entropy_coef=0.0):
+    """The whole team's MAPG loss from one stacked log-policy tensor.
+
+    Equivalent to summing :func:`actor_loss` (plus the optional entropy
+    bonus) over agents, but computed from the ``(B, n_agents, A)`` tensor a
+    single stacked policy evaluation produces
+    (:meth:`~repro.marl.actors.ActorGroup.stacked_log_policies`) instead of
+    per-agent forwards.
+
+    Args:
+        log_probs: Differentiable ``(B, n_agents, A)`` log-policy tensor.
+        actions: ``(B, n_agents)`` executed action indices.
+        advantages: ``(B,)`` numpy TD errors, shared by the whole team
+            (treated as constants).
+        entropy_coef: Optional exploration-bonus weight.
+
+    Returns a scalar tensor: ``sum_n [-(1/B) sum_t y_t log pi_n]``.
+    """
+    batch, n_agents, n_actions = log_probs.shape
+    flat = log_probs.reshape(batch * n_agents, n_actions)
+    taken = F.gather(flat, np.asarray(actions, dtype=np.int64).reshape(-1))
+    repeated = np.repeat(np.asarray(advantages, dtype=np.float64), n_agents)
+    loss = -(taken * repeated).mean() * n_agents
+    if entropy_coef > 0.0:
+        loss = loss - entropy_coef * n_agents * entropy_bonus(F.exp(flat))
+    return loss
 
 
 def critic_loss(values, targets):

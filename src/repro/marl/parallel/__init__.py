@@ -1,0 +1,34 @@
+"""Process-sharded rollout collection: a worker pool over the vectorized
+engine.
+
+Public surface:
+
+- :class:`~repro.marl.parallel.collector.ShardedRolloutCollector` — the
+  parent-side pool: shards the ``(N, ...)`` lockstep state across worker
+  processes, broadcasts actor weights, gathers episode blocks in
+  deterministic order, and survives worker crashes.
+- :class:`~repro.marl.parallel.worker.ShardActionAdapter` — the worker-side
+  action sampler that keeps the shared action stream bit-aligned across
+  shards.
+- :mod:`~repro.marl.parallel.transport` — the pickle-pipe channel and RNG
+  state codecs the two sides speak over.
+"""
+
+from repro.marl.parallel.collector import ShardedRolloutCollector
+from repro.marl.parallel.transport import (
+    WorkerCrashError,
+    WorkerTaskError,
+    get_rng_state,
+    rng_from_state,
+)
+from repro.marl.parallel.worker import ShardActionAdapter, worker_main
+
+__all__ = [
+    "ShardedRolloutCollector",
+    "ShardActionAdapter",
+    "WorkerCrashError",
+    "WorkerTaskError",
+    "get_rng_state",
+    "rng_from_state",
+    "worker_main",
+]

@@ -1,0 +1,348 @@
+"""Process-sharded rollout collection: a persistent worker pool over the
+vectorized engine.
+
+:class:`ShardedRolloutCollector` splits the ``N`` lockstep env copies of the
+in-process vectorized engine (:mod:`repro.envs.vector`,
+:mod:`repro.marl.rollout`) into ``W`` contiguous row shards, each owned by a
+long-lived worker process that steps its shard with local batched circuit
+evaluation and ships completed episode blocks back over the pickle-pipe
+transport (:mod:`repro.marl.parallel.transport`).  The parent broadcasts the
+current actor weights with every collect command (so each
+:meth:`~repro.marl.trainer.CTDETrainer.update` is visible to the mirrors)
+and reassembles episodes in deterministic global order.
+
+Determinism contract (pinned by ``tests/test_parallel_rollout.py``):
+
+- ``rollout_workers=W`` over ``rollout_envs=N`` is **bit-identical** to the
+  in-process ``VectorEnv(N)`` path — same episodes, same stats, same RNG
+  stream positions afterwards — for any ``W``, because every global env row
+  keeps its own generator regardless of shard assignment and action
+  sampling replays the global shared stream (see
+  :class:`~repro.marl.parallel.worker.ShardActionAdapter`).  Transitively,
+  ``N=1, W=1`` is bit-identical to the serial reference loop.
+- The environments terminate on a fixed time limit, so all lockstep copies
+  finish episodes at the same steps.  The parent exploits this to dispatch
+  without per-step synchronisation: a quota of ``n_episodes`` takes exactly
+  ``ceil(n_episodes / N)`` full episode rounds on every shard, matching the
+  in-process engine's stopping step (and its deterministic discard of any
+  surplus).  Environments with data-dependent termination would need a
+  step-synchronised protocol and are rejected up front.
+
+Worker lifecycle: processes are daemonic (the OS reaps them if the parent
+dies without cleanup), :meth:`close` shuts them down gracefully, and a crash
+detected on either side of a collect triggers restart-and-requeue — the new
+process resumes from the checkpoint its predecessor returned after the last
+successful collect and replays the in-flight command bit-exactly, so no
+episode is lost or duplicated.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+import numpy as np
+
+from repro.envs.vector import _spawn_row_rngs
+from repro.marl.parallel.transport import (
+    PipeChannel,
+    WorkerCrashError,
+    get_rng_state,
+)
+from repro.marl.parallel.worker import worker_main
+
+__all__ = ["ShardedRolloutCollector"]
+
+
+def _default_start_method():
+    """Prefer cheap fork workers where forking is actually safe.
+
+    Fork is only trusted on Linux: macOS offers it but forked children can
+    abort inside Apple system libraries (the reason CPython's own default
+    there is spawn).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform.startswith("linux") and "fork" in methods:
+        return "fork"
+    return "spawn"
+
+
+class _WorkerHandle:
+    """Parent-side record of one worker: process, channel, shard, checkpoint."""
+
+    def __init__(self, context, payload, name):
+        self.context = context
+        self.payload = payload
+        self.name = name
+        self.n_rows = len(payload["rngs"])
+        self.checkpoint = None
+        self.process = None
+        self.channel = None
+        self.restarts = 0
+
+    def start(self):
+        """Spawn the process and initialise it (from a checkpoint if cached)."""
+        parent_end, child_end = self.context.Pipe()
+        self.process = self.context.Process(
+            target=worker_main, args=(child_end,), daemon=True, name=self.name
+        )
+        self.process.start()
+        child_end.close()
+        self.channel = PipeChannel(self.process, parent_end)
+        payload = dict(self.payload)
+        payload["checkpoint"] = self.checkpoint
+        self.channel.send(("init", payload))
+        self.channel.recv()
+
+    def restart(self):
+        """Replace a dead process with a fresh one at the last checkpoint."""
+        self.terminate()
+        self.restarts += 1
+        self.start()
+
+    def terminate(self):
+        """Hard-stop the process and drop the channel."""
+        if self.channel is not None:
+            self.channel.close()
+            self.channel = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover — last resort
+                self.process.kill()
+                self.process.join(timeout=5.0)
+            self.process = None
+
+    def close(self):
+        """Graceful shutdown; falls back to terminate on any trouble."""
+        if self.channel is not None and self.process is not None:
+            try:
+                self.channel.send(("close",))
+                self.channel.recv()
+            except Exception:  # noqa: BLE001 — dying worker; force below
+                pass
+        self.terminate()
+
+
+class ShardedRolloutCollector:
+    """Collect episodes from ``n_envs`` lockstep copies across ``n_workers``
+    processes, bit-identically to the in-process vectorized engine.
+
+    Args:
+        env: The serial reference environment (``SingleHopOffloadEnv`` /
+            ``MultiHopOffloadEnv``).  Its generator seeds row 0's stream and
+            is kept in sync with it across collects, exactly as
+            :func:`~repro.envs.vector.make_vector_env` does in-process.
+        actors: The live :class:`~repro.marl.actors.ActorGroup`; its current
+            weights are broadcast to the worker mirrors on every collect.
+        n_envs: Global lockstep copy count ``N``.
+        n_workers: Worker process count ``W`` (clamped to ``n_envs``).
+        start_method: ``multiprocessing`` start method; defaults to
+            ``"fork"`` where available, else ``"spawn"``.
+    """
+
+    def __init__(self, env, actors, n_envs, n_workers, start_method=None):
+        if n_envs < 1:
+            raise ValueError("n_envs must be >= 1")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if env.n_agents != actors.n_agents:
+            raise ValueError(
+                f"env has {env.n_agents} agents, group has {actors.n_agents}"
+            )
+        # SingleHop keeps the limit on its config; MultiHop on the env itself.
+        episode_limit = getattr(env, "episode_limit", None)
+        if episode_limit is None and getattr(env, "config", None) is not None:
+            episode_limit = getattr(env.config, "episode_limit", None)
+        episode_limit = int(episode_limit or 0)
+        if episode_limit < 1:
+            raise ValueError(
+                "ShardedRolloutCollector needs fixed-length episodes (a "
+                "positive episode_limit); data-dependent termination would "
+                "require per-step synchronisation across shards"
+            )
+        self.env = env
+        self.actors = actors
+        self.n_envs = int(n_envs)
+        self.n_workers = min(int(n_workers), self.n_envs)
+        self.episode_limit = episode_limit
+        self._closed = False
+
+        # Row streams are spawned centrally, before sharding, so every global
+        # row's generator is independent of the worker layout (and identical
+        # to what make_vector_env would build in-process, including the
+        # side-effect on env.rng's spawn counter).
+        row_rngs = _spawn_row_rngs(env.rng, self.n_envs)
+        shards = np.array_split(np.arange(self.n_envs), self.n_workers)
+        self._workers = []
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else _default_start_method()
+        )
+        for w, rows in enumerate(shards):
+            payload = {
+                "env": env,
+                "rngs": [row_rngs[i] for i in rows],
+                "first_row": int(rows[0]),
+                "n_envs_total": self.n_envs,
+                "actors": actors,
+            }
+            self._workers.append(
+                _WorkerHandle(context, payload, name=f"repro-rollout-{w}")
+            )
+        try:
+            for worker in self._workers:
+                worker.start()
+        except Exception:
+            self.close()
+            raise
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def total_restarts(self):
+        """Crash-recovery count across the pool (diagnostics)."""
+        return sum(w.restarts for w in self._workers)
+
+    def _actor_weight_states(self):
+        return [
+            actor.state_dict() if hasattr(actor, "state_dict") else None
+            for actor in self.actors.actors
+        ]
+
+    # -- collection -----------------------------------------------------------
+
+    def _exchange(self, command_for):
+        """Send a per-worker command and gather replies, restarting crashed
+        workers and replaying their command (once each per exchange).
+
+        Any failure that escapes the retry — a deterministic
+        :class:`~repro.marl.parallel.transport.WorkerTaskError`, or a worker
+        crashing again right after its restart — aborts mid-loop with other
+        workers' replies still queued in their pipes.  The pool could then
+        pair the *next* command's recv with a stale reply, so it is poisoned
+        (closed) before the error propagates; a later collect fails fast
+        instead of silently returning old episodes.
+        """
+        try:
+            for worker in self._workers:
+                try:
+                    worker.channel.send(command_for(worker))
+                except WorkerCrashError:
+                    worker.restart()
+                    worker.channel.send(command_for(worker))
+            replies = []
+            for worker in self._workers:
+                try:
+                    replies.append(worker.channel.recv())
+                except WorkerCrashError:
+                    worker.restart()
+                    worker.channel.send(command_for(worker))
+                    replies.append(worker.channel.recv())
+        except Exception:
+            self.close()
+            raise
+        return replies
+
+    def collect(self, n_episodes, rng, greedy=False):
+        """Collect ``n_episodes`` episodes; returns ``(episodes, stats)``.
+
+        Same signature, ordering, and stat accounting as
+        :meth:`~repro.marl.rollout.VectorRolloutCollector.collect`; ``rng``
+        (the shared action-sampling stream) is advanced to exactly the
+        position the in-process engine would leave it at.
+        """
+        if self._closed:
+            raise RuntimeError("collector is closed")
+        if n_episodes < 1:
+            raise ValueError("n_episodes must be >= 1")
+        rounds = -(-n_episodes // self.n_envs)  # ceil division
+        action_state = get_rng_state(rng)
+        weight_states = self._actor_weight_states()
+
+        def command_for(worker):
+            return (
+                "collect",
+                rounds * worker.n_rows,
+                greedy,
+                action_state,
+                weight_states,
+            )
+
+        replies = self._exchange(command_for)
+
+        # Every worker advances an identical replica of the shared action
+        # stream; divergence means the lockstep bookkeeping broke.
+        final_action = replies[0]["action_rng"]
+        if any(reply["action_rng"] != final_action for reply in replies[1:]):
+            raise RuntimeError(
+                "worker action streams diverged; shard bookkeeping is broken"
+            )
+        rng.bit_generator.state = final_action
+        # Row 0 shares the serial env's stream in-process; mirror that by
+        # adopting its advanced position into env.rng.
+        self.env.rng.bit_generator.state = replies[0]["row_rngs"][0]
+        for worker, reply in zip(self._workers, replies):
+            worker.checkpoint = reply["checkpoint"]
+
+        # Reassemble in the in-process completion order: episodes finish in
+        # rounds (all copies share the time-limit boundary), rows ascending
+        # within each round — i.e. round-major, global-row-minor.
+        episodes, stats = [], []
+        for r in range(rounds):
+            for worker, reply in zip(self._workers, replies):
+                lo = r * worker.n_rows
+                hi = lo + worker.n_rows
+                episodes.extend(reply["episodes"][lo:hi])
+                stats.extend(reply["stats"][lo:hi])
+        return episodes[:n_episodes], stats[:n_episodes]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def ping(self):
+        """Round-trip every worker (health check); returns worker count."""
+        if self._closed:
+            raise RuntimeError("collector is closed")
+        replies = self._exchange(lambda worker: ("ping",))
+        return len(replies)
+
+    def debug_crash_worker(self, index, during_next_collect=False):
+        """Test hook: make worker ``index`` die like a crashed process.
+
+        With ``during_next_collect=True`` the worker dies only upon
+        receiving its next command (exercising the recv-side requeue path);
+        otherwise it is killed immediately (exercising send-side detection).
+        """
+        worker = self._workers[index]
+        if during_next_collect:
+            worker.channel.send(("arm_crash",))
+            worker.channel.recv()
+        else:
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
+    def close(self):
+        """Shut the pool down; idempotent, leaves no live processes behind."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter teardown
+            pass
+
+    def __repr__(self):
+        return (
+            f"ShardedRolloutCollector(n_envs={self.n_envs}, "
+            f"n_workers={self.n_workers}, n_agents={self.actors.n_agents})"
+        )

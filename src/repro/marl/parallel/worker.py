@@ -1,0 +1,186 @@
+"""Worker-process side of the sharded rollout subsystem.
+
+Each worker owns a contiguous shard of the global ``(N, ...)`` vectorized
+state: a :class:`~repro.envs.vector.VectorEnv` over its rows plus a mirrored
+copy of the parent's :class:`~repro.marl.actors.ActorGroup`, so the
+expensive part of collection — the batched VQC evaluation — runs locally
+and in parallel across workers.  The collection loop itself is the
+already-tested in-process :class:`~repro.marl.rollout.VectorRolloutCollector`;
+the only sharding-specific piece is how actions are sampled.
+
+Determinism contract (why a shard is bit-identical to its rows in-process):
+
+- **Env streams are per row.**  Every global env row keeps its own
+  ``numpy.random.Generator``, spawned once by the parent and shipped to
+  whichever worker owns the row — shard assignment cannot shift a row's
+  draws.
+- **Action sampling consumes the *global* stream.**  The in-process engine
+  draws one uniform per (copy, agent) row per step from a single shared
+  generator.  :class:`ShardActionAdapter` replays that exactly: every worker
+  holds an identical replica of the shared stream, draws the full
+  ``N_total * n_agents`` block each step, and uses only its shard's slice.
+  All replicas advance in lockstep, so worker ``w``'s slice equals the
+  block slice the in-process engine would hand those rows — and every
+  worker finishes each collect with the same stream position, which the
+  parent adopts.
+
+The worker main loop answers ``init`` / ``collect`` / ``ping`` / ``close``
+commands (plus a crash-injection hook for the restart tests) and returns a
+checkpoint of its full shard state with every collect, which is what makes
+parent-side crash recovery replay-exact.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+
+import numpy as np
+
+from repro.envs.vector import make_vector_env
+from repro.marl.actors import categorical_from_draws
+from repro.marl.rollout import VectorRolloutCollector
+from repro.marl.parallel.transport import get_rng_state, rng_from_state
+
+__all__ = ["ShardActionAdapter", "worker_main"]
+
+
+class ShardActionAdapter:
+    """Act on a shard while consuming the global action-sampling stream.
+
+    Drop-in for the :class:`~repro.marl.actors.ActorGroup` interface the
+    vector collector uses (``n_agents`` + ``act_batch``): policy inference
+    runs on the wrapped group over the shard's observations only, but the
+    uniform draws come from the full ``n_envs_total * n_agents`` block so
+    the stream stays bit-aligned with the in-process engine (see the module
+    docstring).
+
+    Args:
+        actors: The worker's mirrored actor group.
+        first_row: Global index of the shard's first env row.
+        n_envs_total: Global lockstep copy count ``N``.
+    """
+
+    def __init__(self, actors, first_row, n_envs_total):
+        self.actors = actors
+        self.first_row = int(first_row)
+        self.n_envs_total = int(n_envs_total)
+
+    @property
+    def n_agents(self):
+        """Team size (delegated to the wrapped group)."""
+        return self.actors.n_agents
+
+    def act_batch(self, observations, rng, greedy=False):
+        """``(shard, n_agents)`` actions from the global draw block."""
+        if greedy:
+            # Greedy execution consumes no randomness; delegate wholesale so
+            # per-actor greedy support checks behave exactly as in-process.
+            return self.actors.act_batch(observations, rng, greedy=True)
+        observations = np.asarray(observations, dtype=np.float64)
+        probs = self.actors.batch_probabilities(observations)
+        n_rows, n_agents, n_actions = probs.shape
+        draws = rng.random(self.n_envs_total * n_agents)
+        start = self.first_row * n_agents
+        shard_draws = draws[start:start + n_rows * n_agents]
+        flat = categorical_from_draws(
+            probs.reshape(n_rows * n_agents, n_actions), shard_draws
+        )
+        return flat.reshape(n_rows, n_agents)
+
+    def __repr__(self):
+        return (
+            f"ShardActionAdapter(first_row={self.first_row}, "
+            f"n_envs_total={self.n_envs_total})"
+        )
+
+
+class _WorkerState:
+    """Everything a worker holds between commands: env shard + actor mirror."""
+
+    def __init__(self, payload):
+        self.actors = payload["actors"]
+        checkpoint = payload.get("checkpoint")
+        if checkpoint is None:
+            self.vector_env = make_vector_env(
+                payload["env"], len(payload["rngs"]), rngs=payload["rngs"]
+            )
+        else:
+            # Restart path: resume from the exact post-collect state the
+            # parent cached — env arrays, row streams, and the collector's
+            # carried-over observations — so no draw is repeated or skipped.
+            self.vector_env = checkpoint["vector_env"]
+        adapter = ShardActionAdapter(
+            self.actors, payload["first_row"], payload["n_envs_total"]
+        )
+        self.collector = VectorRolloutCollector(self.vector_env, adapter)
+        if checkpoint is not None:
+            self.collector.restore_carry_state(checkpoint["carry"])
+
+    def _load_weights(self, weight_states):
+        if weight_states is None:
+            return
+        for actor, state in zip(self.actors.actors, weight_states):
+            if state is not None:
+                actor.load_state_dict(state)
+
+    def collect(self, quota, greedy, action_rng_state, weight_states):
+        """Run one collect round on the shard; returns the reply dict."""
+        self._load_weights(weight_states)
+        rng = rng_from_state(action_rng_state)
+        episodes, stats = self.collector.collect(quota, rng, greedy=greedy)
+        checkpoint = {
+            "vector_env": self.vector_env,
+            "carry": self.collector.carry_state(),
+        }
+        return {
+            "episodes": episodes,
+            "stats": stats,
+            "action_rng": get_rng_state(rng),
+            "row_rngs": [get_rng_state(r) for r in self.vector_env.rngs],
+            "checkpoint": checkpoint,
+        }
+
+
+def worker_main(connection):
+    """Blocking command loop run inside each worker process."""
+    state = None
+    crash_armed = False
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        command = message[0]
+        if command == "close":
+            connection.send(("ok", None))
+            break
+        if command == "arm_crash":
+            # Crash-injection hook for the restart/requeue tests: the *next*
+            # command kills the process mid-task, without a reply, exactly
+            # like a segfault or OOM kill during collection would.
+            crash_armed = True
+            connection.send(("ok", None))
+            continue
+        if crash_armed:
+            os._exit(86)
+        try:
+            if command == "init":
+                state = _WorkerState(message[1])
+                reply = None
+            elif command == "collect":
+                if state is None:
+                    raise RuntimeError("'collect' before 'init'")
+                reply = state.collect(*message[1:])
+            elif command == "ping":
+                reply = "pong"
+            else:
+                raise RuntimeError(f"unknown worker command {command!r}")
+        except Exception:  # noqa: BLE001 — ship any failure to the parent
+            connection.send(("error", traceback.format_exc()))
+        else:
+            connection.send(("ok", reply))
+    try:
+        connection.close()
+    except OSError:
+        pass

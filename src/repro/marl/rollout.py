@@ -26,6 +26,12 @@ Determinism contract:
 Episodes complete in (step, copy index) order; partially collected episodes
 left in flight when ``collect`` returns are discarded, and their copies are
 re-initialised at the start of the next call.
+
+This collector is also the engine each worker of the process-sharded
+subsystem runs over its shard (:mod:`repro.marl.parallel`): the worker
+substitutes an actor-group adapter whose ``act_batch`` consumes the global
+action stream, and everything else — stepping, stat accounting, auto-reset
+carry-over — is exactly this code.
 """
 
 from __future__ import annotations
@@ -67,6 +73,28 @@ class VectorRolloutCollector:
     def n_envs(self):
         """Number of lockstep copies."""
         return self.vector_env.n_envs
+
+    def carry_state(self):
+        """The between-collect carry-over, as a dict.
+
+        Everything :meth:`collect` holds across calls besides the vector
+        env itself: the current observations/states and the fresh-row mask.
+        Supported contract for the process-sharded subsystem's crash
+        checkpoints — pair with :meth:`restore_carry_state` on a collector
+        wrapping the same (restored) vector env to resume without repeating
+        or skipping a single draw.
+        """
+        return {
+            "observations": self._observations,
+            "states": self._states,
+            "fresh": self._fresh.copy(),
+        }
+
+    def restore_carry_state(self, state):
+        """Adopt a carry-over previously captured by :meth:`carry_state`."""
+        self._observations = state["observations"]
+        self._states = state["states"]
+        self._fresh = state["fresh"].copy()
 
     def _prepare(self):
         """Ensure every copy is at an episode start before collecting."""

@@ -13,13 +13,17 @@ One trainer epoch:
 The buffer is cleared after each update (MAPG is on-policy; see
 :mod:`repro.marl.buffer`).
 
-Collection (step 1) has two interchangeable engines: the serial reference
-:func:`rollout_episode` (ground truth, one env at a time), and the
-vectorized path (``TrainingConfig.rollout_envs`` lockstep env copies +
-batched policy inference; see :mod:`repro.envs.vector` and
-:mod:`repro.marl.rollout`).  With one env copy the vectorized engine is
-bit-identical to the serial loop — same RNG streams, same episodes, same
-metrics — which the determinism regression tests pin down.
+Collection (step 1) has three interchangeable engines: the serial reference
+:func:`rollout_episode` (ground truth, one env at a time), the vectorized
+path (``TrainingConfig.rollout_envs`` lockstep env copies + batched policy
+inference; see :mod:`repro.envs.vector` and :mod:`repro.marl.rollout`), and
+the process-sharded path (``TrainingConfig.rollout_workers`` worker
+processes each owning a shard of the lockstep copies; see
+:mod:`repro.marl.parallel`).  The chain of determinism contracts — sharded
+is bit-identical to vectorized for any worker count, vectorized with one
+copy is bit-identical to serial — is pinned by the regression tests, so
+every engine produces the same episodes, metrics, and RNG stream positions
+under a fixed seed.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.envs.vector import make_vector_env
 from repro.marl import mapg
 from repro.marl.buffer import Episode, RolloutBuffer
 from repro.marl.metrics import MetricsHistory
+from repro.marl.parallel import ShardedRolloutCollector
 from repro.marl.rollout import VectorRolloutCollector
 from repro.nn.optim import Adam, clip_grad_norm
 
@@ -107,6 +112,7 @@ class CTDETrainer:
         self.history = MetricsHistory()
         self.epoch = 0
         self._collector = None
+        self._sharded_collector = None
 
         actor_params = actor_group.parameters()
         self.actor_optimizer = (
@@ -141,14 +147,31 @@ class CTDETrainer:
         return configured
 
     @property
+    def rollout_workers(self):
+        """Effective worker process count for sharded collection.
+
+        Clamped to the effective env copy count — a worker without at least
+        one env row would idle while still costing a process.
+        """
+        return min(self.config.rollout_workers, self.rollout_envs)
+
+    @property
+    def sharded_rollouts(self):
+        """Whether epoch collection goes through the process-sharded engine."""
+        mode = self.config.rollout_mode
+        if mode == "sharded":
+            return True
+        return mode == "auto" and self.rollout_workers > 1
+
+    @property
     def vectorized_rollouts(self):
         """Whether epoch collection goes through the vectorized engine."""
         mode = self.config.rollout_mode
-        if mode == "serial":
+        if mode == "serial" or mode == "sharded":
             return False
         if mode == "vector":
             return True
-        return self.rollout_envs > 1
+        return self.rollout_envs > 1 and not self.sharded_rollouts
 
     def vector_collector(self):
         """The lazily built vectorized collection engine.
@@ -163,12 +186,32 @@ class CTDETrainer:
             self._collector = VectorRolloutCollector(vector_env, self.actors)
         return self._collector
 
+    def sharded_collector(self):
+        """The lazily built process-sharded collection engine.
+
+        Built once and kept across epochs like the in-process collector; the
+        worker pool persists between updates and receives the current actor
+        weights with every collect.  Shut down via :meth:`close`.
+        """
+        if self._sharded_collector is None:
+            self._sharded_collector = ShardedRolloutCollector(
+                self.env,
+                self.actors,
+                n_envs=self.rollout_envs,
+                n_workers=self.rollout_workers,
+            )
+        return self._sharded_collector
+
     def collect_episodes(self, n_episodes, greedy=False):
         """Collect ``n_episodes`` episodes; returns ``(episodes, stats)`` lists.
 
-        Dispatches to the vectorized engine or the serial reference loop
-        according to ``TrainingConfig.rollout_mode``.
+        Dispatches to the process-sharded engine, the vectorized engine, or
+        the serial reference loop according to ``TrainingConfig.rollout_mode``.
         """
+        if self.sharded_rollouts:
+            return self.sharded_collector().collect(
+                n_episodes, self.rng, greedy=greedy
+            )
         if self.vectorized_rollouts:
             return self.vector_collector().collect(
                 n_episodes, self.rng, greedy=greedy
@@ -201,16 +244,14 @@ class CTDETrainer:
 
         actor_loss_value = 0.0
         if self.actor_optimizer is not None:
-            total_loss = None
-            for n, actor in enumerate(self.actors.actors):
-                log_probs = actor.log_policy(batch.agent_observations(n))
-                loss_n = mapg.actor_loss(
-                    log_probs, batch.agent_actions(n), advantages
-                )
-                if cfg.entropy_coef > 0.0:
-                    probs = actor(batch.agent_observations(n))
-                    loss_n = loss_n - cfg.entropy_coef * mapg.entropy_bonus(probs)
-                total_loss = loss_n if total_loss is None else total_loss + loss_n
+            # One stacked policy evaluation for the whole team (a single
+            # batched circuit call + adjoint sweep on quantum groups) instead
+            # of sequential per-agent forwards.
+            log_probs = self.actors.stacked_log_policies(batch.observations)
+            total_loss = mapg.team_actor_loss(
+                log_probs, batch.actions, advantages,
+                entropy_coef=cfg.entropy_coef,
+            )
             self.actor_optimizer.zero_grad()
             total_loss.backward()
             if cfg.grad_clip is not None:
@@ -274,6 +315,30 @@ class CTDETrainer:
                 except StopIteration:
                     break
         return self.history
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self):
+        """Shut down the sharded worker pool, if one was started.
+
+        Idempotent and safe to call on trainers that never sharded; the
+        in-process engines hold no external resources.  A later collect
+        rebuilds the pool lazily — but note that closing *mid-training*
+        ends bit-parity with an uninterrupted run: the rebuilt pool
+        re-derives row streams from the (advanced) env generator and resets
+        its copies, so subsequent episodes are still seed-deterministic yet
+        not the ones an uninterrupted sharded/vector run would have
+        collected.  Treat ``close`` as end-of-collection, not a pause.
+        """
+        if self._sharded_collector is not None:
+            self._sharded_collector.close()
+            self._sharded_collector = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()
 
     # -- evaluation ---------------------------------------------------------------
 

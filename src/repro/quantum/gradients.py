@@ -21,7 +21,10 @@ quantum layer participate in end-to-end classical backpropagation):
 All methods return ``(input_grads, weight_grads)`` with shapes
 ``(B, n_inputs)`` and ``(n_weights,)`` given an upstream gradient of shape
 ``(B, n_observables)`` — i.e. they implement the vector-Jacobian product of
-the map ``(inputs, weights) -> expectations``.
+the map ``(inputs, weights) -> expectations``.  With *per-sample* weights
+``(B, n_weights)`` (ensemble evaluation: each batch row runs its own weight
+vector through the shared circuit structure) the weight gradient is returned
+per-sample as ``(B, n_weights)`` instead of summed over the batch.
 """
 
 from __future__ import annotations
@@ -75,13 +78,32 @@ def _flatten_observables(observables, upstream):
 
 
 def _accumulate(op, grad_per_sample, input_grads, weight_grads):
-    """Route one gate's per-sample angle gradient to its parameter source."""
+    """Route one gate's per-sample angle gradient to its parameter source.
+
+    ``weight_grads`` is ``(n_weights,)`` for batch-shared weights (the
+    per-sample gradients sum over the batch) or ``(B, n_weights)`` for
+    per-sample weights (each sample keeps its own row — used when a batch
+    row belongs to a different ensemble member, e.g. one stacked update
+    pass over every agent's actor).
+    """
     ref = op.param
     scaled = grad_per_sample * ref.scale
     if ref.kind == "weight":
-        weight_grads[ref.index] += scaled.sum()
+        if weight_grads.ndim == 2:
+            weight_grads[:, ref.index] += scaled
+        else:
+            weight_grads[ref.index] += scaled.sum()
     elif ref.kind == "input":
         input_grads[:, ref.index] += scaled
+
+
+def _weight_grad_buffer(circuit, weights, batch):
+    """Zeroed weight-gradient buffer, per-sample when ``weights`` is 2-D."""
+    if not circuit.n_weights:
+        return None
+    if weights is not None and np.asarray(weights).ndim == 2:
+        return np.zeros((batch, circuit.n_weights))
+    return np.zeros(circuit.n_weights)
 
 
 def _inverse_matrix(op, theta):
@@ -101,7 +123,10 @@ def adjoint_backward(circuit, observables, inputs, weights, upstream):
         circuit: The symbolic circuit.
         observables: List of PauliString / Hamiltonian observables.
         inputs: ``(B, n_inputs)`` features or ``None``.
-        weights: ``(n_weights,)`` trainable angles or ``None``.
+        weights: ``(n_weights,)`` trainable angles shared across the batch,
+            ``(B, n_weights)`` per-sample weights (ensemble evaluation — the
+            returned weight gradient is then per-sample ``(B, n_weights)``),
+            or ``None``.
         upstream: ``(B, n_observables)`` upstream gradient
             ``dL/d<O_j>`` per sample.
 
@@ -137,7 +162,7 @@ def adjoint_backward(circuit, observables, inputs, weights, upstream):
     input_grads = (
         np.zeros((batch, circuit.n_inputs)) if circuit.n_inputs else None
     )
-    weight_grads = np.zeros(circuit.n_weights) if circuit.n_weights else None
+    weight_grads = _weight_grad_buffer(circuit, weights, batch)
 
     # Resolve all angles once (cheap) so the reverse sweep can invert gates.
     angles = [
@@ -238,7 +263,7 @@ def parameter_shift_backward(
     input_grads = (
         np.zeros((batch, circuit.n_inputs)) if circuit.n_inputs else None
     )
-    weight_grads = np.zeros(circuit.n_weights) if circuit.n_weights else None
+    weight_grads = _weight_grad_buffer(circuit, weights, batch)
 
     for i, op in enumerate(circuit.operations):
         if not (op.is_trainable or op.is_input):
@@ -268,7 +293,7 @@ def finite_difference_backward(
     input_grads = (
         np.zeros((batch, circuit.n_inputs)) if circuit.n_inputs else None
     )
-    weight_grads = np.zeros(circuit.n_weights) if circuit.n_weights else None
+    weight_grads = _weight_grad_buffer(circuit, weights, batch)
 
     for i, op in enumerate(circuit.operations):
         if not (op.is_trainable or op.is_input):

@@ -173,6 +173,80 @@ class TestQuantumActorGroup:
         assert np.allclose(team, individual, atol=1e-12)
 
 
+class TestStackedLogPolicies:
+    """The single-call training forward (update-path vectorization)."""
+
+    def stacked_and_reference(self, group, rng, batch=5):
+        n_agents = group.n_agents
+        obs = rng.uniform(size=(batch, n_agents, 4))
+        stacked = group.stacked_log_policies(obs)
+        assert stacked.shape == (batch, n_agents, group.actors[0].n_actions)
+        reference = np.stack(
+            [
+                actor.log_policy(obs[:, n, :]).data
+                for n, actor in enumerate(group.actors)
+            ],
+            axis=1,
+        )
+        return obs, stacked, reference
+
+    def test_quantum_values_match_per_agent_forwards(self, shared_vqc, rng):
+        group = quantum_team(shared_vqc, n=3)
+        _, stacked, reference = self.stacked_and_reference(group, rng)
+        assert np.allclose(stacked.data, reference, atol=1e-12)
+
+    def test_quantum_gradients_match_per_agent_backward(self, shared_vqc, rng):
+        group = quantum_team(shared_vqc, n=3)
+        obs, stacked, _ = self.stacked_and_reference(group, rng)
+        upstream = rng.normal(size=stacked.shape)
+
+        stacked.backward(upstream)
+        stacked_grads = [a.layer.weights.grad.copy() for a in group.actors]
+        group.zero_grad()
+        for n, actor in enumerate(group.actors):
+            actor.log_policy(obs[:, n, :]).backward(upstream[:, n, :])
+        loop_grads = [a.layer.weights.grad.copy() for a in group.actors]
+        for fast, slow in zip(stacked_grads, loop_grads):
+            assert np.allclose(fast, slow, atol=1e-9)
+
+    def test_born_head_stacked_matches(self, shared_vqc, rng):
+        actors = [
+            QuantumActor(shared_vqc, np.random.default_rng(i), policy_head="born")
+            for i in range(2)
+        ]
+        group = QuantumActorGroup(actors)
+        _, stacked, reference = self.stacked_and_reference(group, rng)
+        assert np.allclose(stacked.data, reference, atol=1e-12)
+
+    def test_classical_group_stacks_per_agent_forwards(self, rng):
+        group = ActorGroup(
+            [ClassicalActor(4, 4, (5,), np.random.default_rng(i)) for i in range(3)]
+        )
+        obs, stacked, reference = self.stacked_and_reference(group, rng)
+        assert np.allclose(stacked.data, reference, atol=1e-15)
+        stacked.sum().backward()
+        assert all(
+            p.grad is not None for actor in group.actors for p in actor.parameters()
+        )
+
+    def test_shot_backend_falls_back_to_per_agent_path(self, shared_vqc):
+        actors = [
+            QuantumActor(
+                shared_vqc,
+                np.random.default_rng(i),
+                backend=StatevectorBackend(shots=64, rng=np.random.default_rng(9)),
+                gradient_method="parameter_shift",
+            )
+            for i in range(2)
+        ]
+        group = QuantumActorGroup(actors)
+        assert group._fast_backend is None
+        obs = np.random.default_rng(0).uniform(size=(2, 2, 4))
+        stacked = group.stacked_log_policies(obs)
+        assert stacked.shape == (2, 2, 4)
+        assert np.all(np.isfinite(stacked.data))
+
+
 class TestBornPolicyHead:
     def test_probabilities_are_measurement_distribution(self, shared_vqc, rng):
         """The born head must equal the exact marginal measurement probs."""

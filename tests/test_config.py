@@ -87,11 +87,35 @@ class TestTrainingConfig:
             {"actor_lr": 0.0},
             {"critic_lr": -1.0},
             {"target_update_period": 0},
+            {"rollout_envs": 0},
+            {"rollout_envs": -4},
+            {"rollout_envs": 2.5},
+            {"rollout_workers": 0},
+            {"rollout_workers": -2},
+            {"rollout_workers": 1.5},
+            {"rollout_mode": "parallel"},
+            {"rollout_mode": "Vector"},
+            {"rollout_mode": ""},
         ],
     )
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             TrainingConfig(**kwargs)
+
+    def test_rollout_validation_messages_name_the_field(self):
+        """Bad rollout settings fail at construction with a clear message,
+        not deep inside the trainer."""
+        with pytest.raises(ValueError, match="rollout_envs"):
+            TrainingConfig(rollout_envs=0)
+        with pytest.raises(ValueError, match="rollout_workers"):
+            TrainingConfig(rollout_workers=0)
+        with pytest.raises(ValueError, match="rollout_mode"):
+            TrainingConfig(rollout_mode="threads")
+
+    def test_rollout_modes_accepted(self):
+        for mode in ("auto", "serial", "vector", "sharded"):
+            assert TrainingConfig(rollout_mode=mode).rollout_mode == mode
+        assert TrainingConfig(rollout_envs=8, rollout_workers=4).rollout_workers == 4
 
 
 class TestBaselineShapes:

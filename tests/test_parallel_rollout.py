@@ -1,0 +1,341 @@
+"""Determinism, crash-recovery, and lifecycle tests for the process-sharded
+rollout subsystem (``repro.marl.parallel``)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.envs.vector import make_vector_env
+from repro.marl.actors import ActorGroup, ClassicalActor
+from repro.marl.frameworks import build_framework
+from repro.marl.parallel import ShardedRolloutCollector
+from repro.marl.rollout import VectorRolloutCollector
+
+EPISODE_LIMIT = 5
+
+
+def single_hop_setup(seed=3):
+    """A serial SingleHop env + tiny classical team, deterministically seeded."""
+    config = SingleHopConfig(episode_limit=EPISODE_LIMIT)
+    env = SingleHopOffloadEnv(config, rng=np.random.default_rng(seed))
+    weight_rng = np.random.default_rng(seed + 1)
+    actors = ActorGroup(
+        [
+            ClassicalActor(
+                config.observation_size, config.n_actions, (5,), weight_rng
+            )
+            for _ in range(config.n_agents)
+        ]
+    )
+    return env, actors
+
+
+def multi_hop_setup(seed=4):
+    """A serial MultiHop env + classical team sized to its topology."""
+    env = MultiHopOffloadEnv(
+        layered_topology((3, 2, 1)),
+        rng=np.random.default_rng(seed),
+        episode_limit=EPISODE_LIMIT,
+    )
+    weight_rng = np.random.default_rng(seed + 1)
+    actors = ActorGroup(
+        [
+            ClassicalActor(
+                env.observation_size, env.action_space.n, (4,), weight_rng
+            )
+            for _ in range(env.n_agents)
+        ]
+    )
+    return env, actors
+
+
+def assert_episodes_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert np.array_equal(a.states, b.states)
+        assert np.array_equal(a.observations, b.observations)
+        assert np.array_equal(a.actions, b.actions)
+        assert np.array_equal(a.rewards, b.rewards)
+        assert np.array_equal(a.next_states, b.next_states)
+        assert np.array_equal(a.dones, b.dones)
+
+
+def collect_rounds(collector, env, n_episodes, n_rounds, seed=11, greedy=False):
+    """Run ``n_rounds`` collects; returns (episodes, stats, rng/env states)."""
+    rng = np.random.default_rng(seed)
+    episodes, stats = [], []
+    for _ in range(n_rounds):
+        batch, batch_stats = collector.collect(n_episodes, rng, greedy=greedy)
+        episodes.extend(batch)
+        stats.extend(batch_stats)
+    return episodes, stats, rng.bit_generator.state, env.rng.bit_generator.state
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("setup", [single_hop_setup, multi_hop_setup])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_bit_identical_to_vector_engine(self, setup, n_workers):
+        """W workers over N=4 == in-process VectorEnv(4), episode for episode."""
+        env_v, actors_v = setup()
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        expected = collect_rounds(reference, env_v, 4, 2)
+
+        env_s, actors_s = setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=4, n_workers=n_workers
+        ) as sharded:
+            got = collect_rounds(sharded, env_s, 4, 2)
+
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1] == got[1]  # per-episode Fig. 3 stats
+        assert expected[2] == got[2]  # shared action stream position
+        assert expected[3] == got[3]  # serial env's row-0 stream position
+
+    def test_bit_identical_to_serial_at_n1(self):
+        """Transitivity anchor: one row, one worker == the serial oracle."""
+        from repro.marl.trainer import rollout_episode
+
+        env_ref, actors_ref = single_hop_setup()
+        rng_ref = np.random.default_rng(11)
+        expected = [
+            rollout_episode(env_ref, actors_ref, rng_ref) for _ in range(3)
+        ]
+
+        env_s, actors_s = single_hop_setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=1, n_workers=1
+        ) as sharded:
+            rng_s = np.random.default_rng(11)
+            episodes, stats = sharded.collect(3, rng_s)
+        assert_episodes_equal([e for e, _ in expected], episodes)
+        assert [s for _, s in expected] == stats
+        assert rng_ref.bit_generator.state == rng_s.bit_generator.state
+
+    def test_quota_below_copy_count_discards_surplus_identically(self):
+        env_v, actors_v = single_hop_setup()
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        env_s, actors_s = single_hop_setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=4, n_workers=2
+        ) as sharded:
+            expected = collect_rounds(reference, env_v, 3, 2)
+            got = collect_rounds(sharded, env_s, 3, 2)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+    def test_greedy_collection_matches_vector(self):
+        env_v, actors_v = single_hop_setup()
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        env_s, actors_s = single_hop_setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=4, n_workers=2
+        ) as sharded:
+            expected = collect_rounds(reference, env_v, 4, 1, greedy=True)
+            got = collect_rounds(sharded, env_s, 4, 1, greedy=True)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+    def test_weight_updates_reach_workers(self):
+        """Mutating parent actor weights changes the next sharded collect."""
+        env_s, actors_s = single_hop_setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=2, n_workers=2
+        ) as sharded:
+            first, _ = sharded.collect(2, np.random.default_rng(0))
+            for p in actors_s.parameters():
+                p.data += np.random.default_rng(1).normal(
+                    scale=0.5, size=p.data.shape
+                )
+            second, _ = sharded.collect(2, np.random.default_rng(0))
+        same_weights_same_stream = np.array_equal(
+            first[0].actions, second[0].actions
+        )
+        assert not same_weights_same_stream
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("during_next_collect", [False, True])
+    def test_crash_restart_loses_no_episodes(self, during_next_collect):
+        """A killed worker is restarted and its block replayed bit-exactly."""
+        env_v, actors_v = single_hop_setup()
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        env_s, actors_s = single_hop_setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=4, n_workers=2
+        ) as sharded:
+            rng_v = np.random.default_rng(11)
+            rng_s = np.random.default_rng(11)
+            expected_1 = reference.collect(4, rng_v)
+            got_1 = sharded.collect(4, rng_s)
+            sharded.debug_crash_worker(
+                0, during_next_collect=during_next_collect
+            )
+            expected_2 = reference.collect(4, rng_v)
+            got_2 = sharded.collect(4, rng_s)
+            assert sharded.total_restarts == 1
+        assert_episodes_equal(expected_1[0] + expected_2[0], got_1[0] + got_2[0])
+        assert expected_1[1] + expected_2[1] == got_1[1] + got_2[1]
+        assert rng_v.bit_generator.state == rng_s.bit_generator.state
+
+    def test_worker_task_error_poisons_pool(self):
+        """A deterministic in-worker error propagates and closes the pool:
+        replaying it cannot help, and leaving the pool open could pair the
+        next command with a stale queued reply."""
+        from repro.marl.actors import RandomActor
+        from repro.marl.parallel import WorkerTaskError
+
+        env, _ = single_hop_setup()
+        group = ActorGroup([RandomActor(4) for _ in range(4)])
+        sharded = ShardedRolloutCollector(env, group, n_envs=2, n_workers=2)
+        processes = [w.process for w in sharded._workers]
+        with pytest.raises(WorkerTaskError, match="greedy"):
+            # RandomActor has no greedy mode; the worker raises inside
+            # act_batch, exactly as the in-process engine would in-line.
+            sharded.collect(2, np.random.default_rng(0), greedy=True)
+        assert sharded._closed
+        assert all(p is None or not p.is_alive() for p in processes)
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.collect(2, np.random.default_rng(0))
+
+    def test_crash_before_first_collect(self):
+        env_v, actors_v = single_hop_setup()
+        reference = VectorRolloutCollector(make_vector_env(env_v, 2), actors_v)
+        env_s, actors_s = single_hop_setup()
+        with ShardedRolloutCollector(
+            env_s, actors_s, n_envs=2, n_workers=2
+        ) as sharded:
+            sharded.debug_crash_worker(1)
+            expected = reference.collect(2, np.random.default_rng(5))
+            got = sharded.collect(2, np.random.default_rng(5))
+            assert sharded.total_restarts == 1
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1] == got[1]
+
+
+class TestLifecycle:
+    def test_close_leaves_no_processes(self):
+        env, actors = single_hop_setup()
+        sharded = ShardedRolloutCollector(env, actors, n_envs=2, n_workers=2)
+        processes = [w.process for w in sharded._workers]
+        assert all(p.is_alive() for p in processes)
+        sharded.close()
+        assert all(p is None or not p.is_alive() for p in processes)
+        assert all(w.process is None for w in sharded._workers)
+        sharded.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sharded.collect(1, np.random.default_rng(0))
+
+    def test_ping(self):
+        env, actors = single_hop_setup()
+        with ShardedRolloutCollector(
+            env, actors, n_envs=3, n_workers=2
+        ) as sharded:
+            assert sharded.ping() == 2
+
+    def test_workers_clamped_to_envs(self):
+        env, actors = single_hop_setup()
+        with ShardedRolloutCollector(
+            env, actors, n_envs=2, n_workers=8
+        ) as sharded:
+            assert sharded.n_workers == 2
+
+    def test_invalid_arguments(self):
+        env, actors = single_hop_setup()
+        with pytest.raises(ValueError):
+            ShardedRolloutCollector(env, actors, n_envs=0, n_workers=1)
+        with pytest.raises(ValueError):
+            ShardedRolloutCollector(env, actors, n_envs=2, n_workers=0)
+        group = ActorGroup([ClassicalActor(4, 4, (), np.random.default_rng(0))])
+        with pytest.raises(ValueError):
+            ShardedRolloutCollector(env, group, n_envs=2, n_workers=1)
+
+
+class TestTrainerIntegration:
+    def trainer_setup(self, seed=5, **train_overrides):
+        from repro.marl.critics import ClassicalCentralCritic
+        from repro.marl.trainer import CTDETrainer
+
+        env, actors = single_hop_setup(seed)
+        critic_rng = np.random.default_rng(seed + 7)
+        critic = ClassicalCentralCritic(env.config.state_size, (4,), critic_rng)
+        target = ClassicalCentralCritic(
+            env.config.state_size, (4,), np.random.default_rng(seed + 8)
+        )
+        defaults = {
+            "n_epochs": 2,
+            "episodes_per_epoch": 4,
+            "actor_lr": 1e-2,
+            "critic_lr": 1e-2,
+            "rollout_envs": 4,
+        }
+        defaults.update(train_overrides)
+        config = TrainingConfig(**defaults)
+        return CTDETrainer(
+            env, actors, critic, target, config, np.random.default_rng(seed)
+        )
+
+    def test_sharded_train_epoch_bit_identical_to_vector(self):
+        vector = self.trainer_setup(rollout_mode="vector")
+        sharded = self.trainer_setup(rollout_mode="auto", rollout_workers=2)
+        assert sharded.sharded_rollouts and not vector.sharded_rollouts
+        try:
+            for _ in range(3):
+                assert vector.train_epoch() == sharded.train_epoch()
+        finally:
+            sharded.close()
+
+    def test_forced_sharded_mode_single_worker(self):
+        vector = self.trainer_setup(rollout_mode="vector")
+        sharded = self.trainer_setup(rollout_mode="sharded", rollout_workers=1)
+        assert sharded.sharded_rollouts
+        try:
+            assert vector.train_epoch() == sharded.train_epoch()
+        finally:
+            sharded.close()
+
+    def test_workers_clamped_to_rollout_envs(self):
+        trainer = self.trainer_setup(
+            episodes_per_epoch=2, rollout_envs=2, rollout_workers=16
+        )
+        assert trainer.rollout_workers == 2
+        trainer.close()  # no pool was ever started; must still be safe
+
+    def test_close_shuts_down_pool_and_allows_rebuild(self):
+        trainer = self.trainer_setup(rollout_mode="sharded", rollout_workers=2)
+        trainer.train_epoch()
+        pool = trainer._sharded_collector
+        assert pool is not None
+        trainer.close()
+        assert trainer._sharded_collector is None
+        assert all(w.process is None for w in pool._workers)
+        # A later epoch lazily rebuilds a fresh pool.  Documented caveat:
+        # the rebuilt pool is seed-deterministic but not bit-continuous
+        # with the uninterrupted run (close is end-of-collection, not a
+        # pause) — here we only assert the rebuild itself works.
+        trainer.train_epoch()
+        assert trainer._sharded_collector is not pool
+        trainer.close()
+
+    def test_quantum_framework_sharded_matches_vector(self):
+        env_config = SingleHopConfig(episode_limit=4)
+
+        def run(mode, workers):
+            train = TrainingConfig(
+                episodes_per_epoch=2,
+                actor_lr=1e-3,
+                critic_lr=1e-3,
+                rollout_envs=2,
+                rollout_workers=workers,
+                rollout_mode=mode,
+            )
+            framework = build_framework(
+                "proposed", seed=7, env_config=env_config, train_config=train
+            )
+            with framework:
+                records = [framework.trainer.train_epoch() for _ in range(2)]
+                evaluation = framework.evaluate(n_episodes=2)
+            return records, evaluation
+
+        assert run("vector", 1) == run("sharded", 2)
