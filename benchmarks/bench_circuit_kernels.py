@@ -1,0 +1,304 @@
+"""Gate-kernel throughput: interpreted vs. program-compiled execution.
+
+Measures the three places the program tier (:mod:`repro.quantum.program`)
+replaces the interpreted per-gate loop:
+
+- **raw gate application** per gate class — a diagonal/permutation-heavy
+  circuit (rz/cz/cnot/s: phase-vector multiplies and index gathers), a
+  single-qubit dense circuit (rx/ry/h: rotation kernels) and a two-qubit
+  dense circuit (crx/cry) — in circuit gate applications per second;
+- **adjoint reverse sweep** — one batched vector-Jacobian product through
+  the paper-scale VQC (4 qubits, 16 features, 50 weights), with shared and
+  per-sample weights;
+- **end-to-end training** — quantum-framework ``train_epoch`` env steps/s
+  with the program tier off (the PR 1/2 suffix-compiled baseline) and on.
+
+Run under the benchmark harness::
+
+    pytest benchmarks/bench_circuit_kernels.py --benchmark-only
+
+or standalone for a summary table plus the machine-readable
+``BENCH_circuit_kernels.json`` (tracked across PRs)::
+
+    PYTHONPATH=src python benchmarks/bench_circuit_kernels.py [--smoke]
+"""
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from benchio import write_bench_json
+
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.marl.frameworks import build_framework
+from repro.quantum.backends import StatevectorBackend
+from repro.quantum.circuit import ParameterRef, QuantumCircuit
+from repro.quantum.gradients import adjoint_backward
+from repro.quantum.program import compile_program, using_program
+from repro.quantum.vqc import build_vqc
+
+SEED = 7
+GATE_BATCH = 256
+GATE_QUBITS = 6
+GATE_OPS = 60
+ADJOINT_BATCH = 128
+EPISODE_LIMIT = 25
+EPISODES_PER_EPOCH = 8
+ROLLOUT_ENVS = 8
+
+
+def _diag_perm_circuit():
+    """Diagonal/permutation-heavy: rz + cz + cnot + s."""
+    circuit = QuantumCircuit(GATE_QUBITS)
+    for i in range(GATE_OPS):
+        wire = i % GATE_QUBITS
+        kind = i % 4
+        if kind == 0:
+            circuit.add("rz", (wire,), ParameterRef.input(wire))
+        elif kind == 1:
+            circuit.add("cz", (wire, (wire + 1) % GATE_QUBITS))
+        elif kind == 2:
+            circuit.add("cnot", (wire, (wire + 1) % GATE_QUBITS))
+        else:
+            circuit.add("s", (wire,))
+    return circuit
+
+
+def _dense_1q_circuit():
+    """Single-qubit dense rotations: rx + ry + h."""
+    circuit = QuantumCircuit(GATE_QUBITS)
+    for i in range(GATE_OPS):
+        wire = i % GATE_QUBITS
+        if i % 3 == 0:
+            circuit.add("rx", (wire,), ParameterRef.input(wire))
+        elif i % 3 == 1:
+            circuit.add("ry", (wire,), ParameterRef.input(wire))
+        else:
+            circuit.add("h", (wire,))
+    return circuit
+
+
+def _dense_2q_circuit():
+    """Two-qubit dense controlled rotations: crx + cry."""
+    circuit = QuantumCircuit(GATE_QUBITS)
+    for i in range(GATE_OPS):
+        gate = ("crx", "cry")[i % 2]
+        circuit.add(
+            gate,
+            (i % GATE_QUBITS, (i + 2) % GATE_QUBITS),
+            ParameterRef.input(i % GATE_QUBITS),
+        )
+    return circuit
+
+
+GATE_CLASSES = {
+    "diag_perm": _diag_perm_circuit,
+    "dense_1q": _dense_1q_circuit,
+    "dense_2q": _dense_2q_circuit,
+}
+
+
+def _measure(fn, repeats):
+    """Best-of-``repeats`` wall time for one call."""
+    fn()  # warmup (program compile, caches, allocator)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _gate_class_rates(repeats):
+    rng = np.random.default_rng(SEED)
+    inputs = rng.uniform(size=(GATE_BATCH, GATE_QUBITS))
+    interpreted = StatevectorBackend(program=False)
+    results = {}
+    for name, builder in GATE_CLASSES.items():
+        circuit = builder()
+        program = compile_program(circuit)
+        t_interp = _measure(lambda: interpreted.evolve(circuit, inputs), repeats)
+        t_prog = _measure(
+            lambda: program.evolve(inputs, None, GATE_BATCH), repeats
+        )
+        results[name] = {
+            "n_ops": circuit.n_operations,
+            "batch": GATE_BATCH,
+            "interpreted_gates_per_s": circuit.n_operations / t_interp,
+            "program_gates_per_s": circuit.n_operations / t_prog,
+            "speedup": t_interp / t_prog,
+        }
+    return results
+
+
+def _adjoint_rates(repeats):
+    rng = np.random.default_rng(SEED)
+    vqc = build_vqc(4, 16, 50, seed=3)
+    inputs = rng.uniform(size=(ADJOINT_BATCH, 16))
+    upstream = rng.normal(size=(ADJOINT_BATCH, 4))
+    shared = vqc.initial_weights(rng)
+    per_sample = np.tile(
+        np.stack([vqc.initial_weights(rng) for _ in range(4)]),
+        (ADJOINT_BATCH // 4, 1),
+    )
+    results = {}
+    for label, weights in (("shared", shared), ("per_sample", per_sample)):
+        times = {}
+        for tier, flag in (("interpreted", False), ("program", True)):
+            def sweep():
+                with using_program(flag):
+                    adjoint_backward(
+                        vqc.circuit, vqc.observables, inputs, weights, upstream
+                    )
+            times[tier] = _measure(sweep, repeats)
+        results[label] = {
+            "batch": ADJOINT_BATCH,
+            "interpreted_sweeps_per_s": 1.0 / times["interpreted"],
+            "program_sweeps_per_s": 1.0 / times["program"],
+            "speedup": times["interpreted"] / times["program"],
+        }
+    return results
+
+
+def _train_epoch_rate(program, n_epochs):
+    with using_program(program):
+        framework = build_framework(
+            "proposed",
+            seed=SEED,
+            env_config=SingleHopConfig(episode_limit=EPISODE_LIMIT),
+            train_config=TrainingConfig(
+                episodes_per_epoch=EPISODES_PER_EPOCH,
+                rollout_envs=ROLLOUT_ENVS,
+            ),
+        )
+        framework.trainer.train_epoch()  # warmup
+        start = time.perf_counter()
+        for _ in range(n_epochs):
+            framework.trainer.train_epoch()
+        elapsed = (time.perf_counter() - start) / n_epochs
+        framework.trainer.close()
+    return EPISODES_PER_EPOCH * EPISODE_LIMIT / elapsed
+
+
+def _train_epoch_rates(n_epochs):
+    baseline = _train_epoch_rate(False, n_epochs)
+    program = _train_epoch_rate(True, n_epochs)
+    return {
+        "framework": "proposed",
+        "episode_limit": EPISODE_LIMIT,
+        "episodes_per_epoch": EPISODES_PER_EPOCH,
+        "rollout_envs": ROLLOUT_ENVS,
+        "suffix_compiled_steps_per_s": baseline,
+        "program_steps_per_s": program,
+        "speedup": program / baseline,
+    }
+
+
+# -- pytest-benchmark harness entry points ----------------------------------
+
+
+def _bench_gate_class(benchmark, builder, program):
+    rng = np.random.default_rng(SEED)
+    inputs = rng.uniform(size=(GATE_BATCH, GATE_QUBITS))
+    circuit = builder()
+    if program:
+        compiled = compile_program(circuit)
+        run = lambda: compiled.evolve(inputs, None, GATE_BATCH)  # noqa: E731
+    else:
+        backend = StatevectorBackend(program=False)
+        run = lambda: backend.evolve(circuit, inputs)  # noqa: E731
+    benchmark.pedantic(run, rounds=3, iterations=2, warmup_rounds=1)
+    benchmark.extra_info["gates_per_round"] = circuit.n_operations
+
+
+def test_diag_perm_interpreted(benchmark):
+    """Interpreted tier on the diagonal/permutation-heavy circuit."""
+    _bench_gate_class(benchmark, _diag_perm_circuit, program=False)
+
+
+def test_diag_perm_program(benchmark):
+    """Program tier on the diagonal/permutation-heavy circuit."""
+    _bench_gate_class(benchmark, _diag_perm_circuit, program=True)
+
+
+def test_dense_1q_program(benchmark):
+    """Program tier on the single-qubit dense circuit."""
+    _bench_gate_class(benchmark, _dense_1q_circuit, program=True)
+
+
+def test_dense_2q_program(benchmark):
+    """Program tier on the two-qubit dense circuit."""
+    _bench_gate_class(benchmark, _dense_2q_circuit, program=True)
+
+
+def test_adjoint_program(benchmark):
+    """Program-compiled adjoint sweep at the paper's circuit scale."""
+    rng = np.random.default_rng(SEED)
+    vqc = build_vqc(4, 16, 50, seed=3)
+    inputs = rng.uniform(size=(ADJOINT_BATCH, 16))
+    upstream = rng.normal(size=(ADJOINT_BATCH, 4))
+    weights = vqc.initial_weights(rng)
+    benchmark.pedantic(
+        lambda: adjoint_backward(
+            vqc.circuit, vqc.observables, inputs, weights, upstream
+        ),
+        rounds=3,
+        iterations=2,
+        warmup_rounds=1,
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json-dir", default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer repeats (CI smoke run; numbers are noisier)",
+    )
+    args = parser.parse_args()
+    repeats = 2 if args.smoke else 5
+    n_epochs = 1 if args.smoke else 4
+
+    gate_classes = _gate_class_rates(repeats)
+    print(f"{'gate class':>12}  {'interp gates/s':>15}  {'program gates/s':>16}  {'speedup':>8}")
+    for name, row in gate_classes.items():
+        print(
+            f"{name:>12}  {row['interpreted_gates_per_s']:>15.0f}  "
+            f"{row['program_gates_per_s']:>16.0f}  {row['speedup']:>7.2f}x"
+        )
+
+    adjoint = _adjoint_rates(repeats)
+    print(f"\n{'adjoint':>12}  {'interp sweeps/s':>15}  {'program sweeps/s':>16}  {'speedup':>8}")
+    for name, row in adjoint.items():
+        print(
+            f"{name:>12}  {row['interpreted_sweeps_per_s']:>15.1f}  "
+            f"{row['program_sweeps_per_s']:>16.1f}  {row['speedup']:>7.2f}x"
+        )
+
+    train = _train_epoch_rates(n_epochs)
+    print(
+        f"\ntrain_epoch: {train['suffix_compiled_steps_per_s']:.1f} -> "
+        f"{train['program_steps_per_s']:.1f} env steps/s "
+        f"({train['speedup']:.2f}x)"
+    )
+
+    path = write_bench_json(
+        "BENCH_circuit_kernels.json",
+        {
+            "benchmark": "circuit_kernels",
+            "cpu_count": os.cpu_count(),
+            "smoke": bool(args.smoke),
+            "gate_classes": gate_classes,
+            "adjoint": adjoint,
+            "train_epoch": train,
+        },
+        args.json_dir,
+    )
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,13 @@ from repro.quantum.channels import (
 )
 from repro.quantum.circuit import Operation, ParameterRef, QuantumCircuit
 from repro.quantum.compile import CompiledCircuit, split_index
+from repro.quantum.program import (
+    CircuitProgram,
+    compile_program,
+    program_enabled,
+    set_program_enabled,
+    using_program,
+)
 from repro.quantum.encoding import (
     AngleEncoding,
     DataReuploadingEncoding,
@@ -61,6 +68,11 @@ __all__ = [
     "ParameterRef",
     "CompiledCircuit",
     "split_index",
+    "CircuitProgram",
+    "compile_program",
+    "program_enabled",
+    "set_program_enabled",
+    "using_program",
     "AngleEncoding",
     "MultiLayerAngleEncoding",
     "DataReuploadingEncoding",

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.quantum import density as _dm
 from repro.quantum import gates as _gates
+from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
 from repro.quantum.channels import NoiseModel
 from repro.quantum.observables import Hamiltonian, PauliString
@@ -36,13 +37,12 @@ _BASIS_ROTATIONS = {
 
 
 def _pauli_string_signs(pauli, n_qubits):
-    """Diagonal eigenvalues of the Z-basis version of a Pauli string."""
-    signs = np.ones(2**n_qubits)
-    indices = np.arange(2**n_qubits)
-    for wire in pauli.wires:
-        bit = (indices >> (n_qubits - 1 - wire)) & 1
-        signs *= 1.0 - 2.0 * bit
-    return signs
+    """Diagonal eigenvalues of the Z-basis version of a Pauli string.
+
+    Cached per ``(n_qubits, wires)`` — after the basis rotation every
+    factor measures as Z, so only the wire set matters.
+    """
+    return _sv.pauli_z_string_signs(n_qubits, pauli.wires)
 
 
 def _rotate_to_z_basis_sv(psi, pauli, n_qubits):
@@ -56,15 +56,16 @@ def _rotate_to_z_basis_sv(psi, pauli, n_qubits):
 
 
 def _sample_mean_signs(probs, signs, shots, rng):
-    """Monte-Carlo estimate of ``sum_i p_i s_i`` from ``shots`` samples."""
+    """Monte-Carlo estimate of ``sum_i p_i s_i`` from ``shots`` samples.
+
+    All rows are drawn through one batched inverse-CDF pass, consuming the
+    generator identically to per-sample ``rng.choice`` loops (see
+    :func:`repro.quantum.statevector.batched_inverse_cdf_sample`).
+    """
     probs = np.clip(probs, 0.0, None)
     probs /= probs.sum(axis=1, keepdims=True)
-    batch, dim = probs.shape
-    out = np.empty(batch)
-    for b in range(batch):
-        drawn = rng.choice(dim, size=shots, p=probs[b])
-        out[b] = signs[drawn].mean()
-    return out
+    drawn = _sv.batched_inverse_cdf_sample(probs, shots, rng)
+    return signs[drawn].mean(axis=1)
 
 
 def _normalise_run_args(circuit, inputs, batch_size):
@@ -90,20 +91,40 @@ class StatevectorBackend:
         shots: ``None`` for exact expectation values, otherwise the number of
             measurement samples used to estimate each expectation.
         rng: ``numpy.random.Generator`` used for shot sampling.
+        program: ``True``/``False`` forces the program-compiled /
+            interpreted gate tier for this backend; ``None`` (default)
+            follows the global :func:`repro.quantum.program.program_enabled`
+            switch.
     """
 
     name = "statevector"
     supports_adjoint = True
 
-    def __init__(self, shots=None, rng=None):
+    def __init__(self, shots=None, rng=None, program=None):
         if shots is not None and shots < 1:
             raise ValueError("shots must be None or >= 1")
         self.shots = shots
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.program = program
+
+    def _use_program(self):
+        if self.program is not None:
+            return self.program
+        return _program.program_enabled()
 
     def evolve(self, circuit, inputs=None, weights=None, batch_size=None):
-        """Run the circuit, returning the final state batch ``(B, 2**n)``."""
+        """Run the circuit, returning the final state batch ``(B, 2**n)``.
+
+        Dispatches to the program-compiled kernel tier (pre-planned, fused
+        gate applications — see :mod:`repro.quantum.program`) unless the
+        tier is disabled, in which case the interpreted per-gate reference
+        loop runs.  Both produce the same states to float round-off.
+        """
         inputs, batch = _normalise_run_args(circuit, inputs, batch_size)
+        if self._use_program():
+            return _program.compile_program(circuit).evolve(
+                inputs, weights, batch
+            )
         psi = _sv.zero_state(circuit.n_qubits, batch)
         for op in circuit.operations:
             theta = circuit.resolve_angle(op, inputs, weights)
@@ -116,11 +137,41 @@ class StatevectorBackend:
         return self.measure(psi, observables, circuit.n_qubits)
 
     def measure(self, psi, observables, n_qubits):
-        """Measure prepared states: exact or shot-estimated expectations."""
-        columns = []
-        for obs in observables:
-            columns.append(self._measure_one(psi, obs, n_qubits))
-        return np.stack(columns, axis=1)
+        """Measure prepared states: exact or shot-estimated expectations.
+
+        On the exact path all diagonal (Z-string) observables share one
+        probability pass and a single matmul against their stacked cached
+        sign diagonals — the common case (the paper measures ``Z`` on every
+        qubit) costs one ``|psi|^2`` and one ``(B, dim) @ (dim, m)``.
+
+        The whole measurement runs under this backend's effective tier
+        (``program=`` override or the global switch), so a
+        ``program=False`` backend measures through the interpreted
+        reference path even when the global tier is on, and vice versa.
+        """
+        with _program.using_program(self._use_program()):
+            columns = [None] * len(observables)
+            if self.shots is None and self._use_program():
+                diag_indices = [
+                    j
+                    for j, obs in enumerate(observables)
+                    if isinstance(obs, PauliString)
+                    and obs.is_diagonal
+                    and not obs.is_identity()
+                ]
+                if diag_indices:
+                    probs = _sv.probabilities(psi)
+                    signs = np.stack(
+                        [observables[j].z_signs(n_qubits) for j in diag_indices],
+                        axis=1,
+                    )
+                    values = probs @ signs
+                    for column, j in enumerate(diag_indices):
+                        columns[j] = values[:, column]
+            for j, obs in enumerate(observables):
+                if columns[j] is None:
+                    columns[j] = self._measure_one(psi, obs, n_qubits)
+            return np.stack(columns, axis=1)
 
     def _measure_one(self, psi, obs, n_qubits):
         if isinstance(obs, Hamiltonian):

@@ -16,12 +16,12 @@ against the uncompiled backend in the test suite.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
+from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
 from repro.quantum.backends import StatevectorBackend, _normalise_run_args
+from repro.quantum.program import weights_key as _weights_key
 
 __all__ = ["split_index", "CompiledCircuit"]
 
@@ -37,14 +37,6 @@ def split_index(circuit):
         if op.is_input:
             last_input = i
     return last_input + 1
-
-
-def _weights_key(weights):
-    """Content hash of a weight array (weights mutate in place under Adam)."""
-    if weights is None:
-        return "none"
-    array = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
-    return hashlib.blake2b(array.tobytes(), digest_size=16).hexdigest()
 
 
 class CompiledCircuit:
@@ -71,6 +63,10 @@ class CompiledCircuit:
         self._cache_key = None
         self._cached_unitary = None
         self._backend = StatevectorBackend()
+        # Program-compiled kernel plans for the two circuit halves, built
+        # lazily so the interpreted tier pays no compile cost.
+        self._prefix_program = None
+        self._suffix_program = None
 
     @property
     def n_compiled_operations(self):
@@ -108,8 +104,23 @@ class CompiledCircuit:
 
     def _evolve_suffix(self, psi, weights):
         n = self.circuit.n_qubits
+        if _program.program_enabled():
+            if self._suffix_program is None:
+                self._suffix_program = _program.CircuitProgram(n, self._suffix)
+            return self._suffix_program.apply(psi, None, weights)
         for op in self._suffix:
             theta = self.circuit.resolve_angle(op, None, weights)
+            psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
+        return psi
+
+    def _evolve_prefix(self, psi, inputs, weights):
+        n = self.circuit.n_qubits
+        if _program.program_enabled():
+            if self._prefix_program is None:
+                self._prefix_program = _program.CircuitProgram(n, self._prefix)
+            return self._prefix_program.apply(psi, inputs, weights)
+        for op in self._prefix:
+            theta = self.circuit.resolve_angle(op, inputs, weights)
             psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
         return psi
 
@@ -137,10 +148,7 @@ class CompiledCircuit:
                         f"{n_sets} weight rows for batch {batch}"
                     )
                 prefix_weights = np.tile(weights_arr, (batch // n_sets, 1))
-        psi = _sv.zero_state(n, batch)
-        for op in self._prefix:
-            theta = self.circuit.resolve_angle(op, inputs_arr, prefix_weights)
-            psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
+        psi = self._evolve_prefix(_sv.zero_state(n, batch), inputs_arr, prefix_weights)
 
         unitary = self.suffix_unitary(weights_arr)
         if unitary.ndim == 3:

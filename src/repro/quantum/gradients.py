@@ -32,6 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.quantum import gates as _gates
+from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
 from repro.quantum.backends import StatevectorBackend
 from repro.quantum.observables import Hamiltonian, PauliString
@@ -168,6 +169,26 @@ def adjoint_backward(circuit, observables, inputs, weights, upstream):
     angles = [
         circuit.resolve_angle(op, inputs, weights) for op in circuit.operations
     ]
+
+    if _program.program_enabled():
+        # Program-compiled sweep: each gate's pre-planned inverse kernel is
+        # applied to the stacked (2B, dim) bra/ket block in ONE call, and
+        # generators run as compiled diagonal/gather kernels (Pauli
+        # generators are never dense).  Same math, fewer passes.
+        prog = _program.compile_program(circuit)
+        stacked = np.concatenate([bra, ket], axis=0)
+        for i in range(len(circuit.operations) - 1, -1, -1):
+            op = circuit.operations[i]
+            theta = angles[i]
+            if op.is_trainable or op.is_input:
+                # d<H>/dtheta = Im(<bra| G |ket>), ket = psi_i (pre-inverse).
+                g_ket = prog.apply_generator(i, stacked[batch:])
+                grad = np.imag(_sv.inner_products(stacked[:batch], g_ket))
+                _accumulate(op, grad, input_grads, weight_grads)
+            if theta is not None and np.ndim(theta) == 1:
+                theta = np.concatenate([theta, theta])
+            stacked = prog.apply_inverse(i, stacked, theta)
+        return input_grads, weight_grads
 
     for op, theta in zip(reversed(circuit.operations), reversed(angles)):
         needs_grad = op.is_trainable or op.is_input

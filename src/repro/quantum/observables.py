@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.quantum import gates as _gates
+from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
 
 __all__ = ["PauliString", "Hamiltonian", "all_z_observables", "expectation"]
@@ -70,8 +71,19 @@ class PauliString:
         """True when this string has no non-identity factors."""
         return not self.terms
 
+    @property
+    def is_diagonal(self):
+        """True when every factor is ``Z`` (or the string is the identity)."""
+        return all(p == "Z" for p in self.terms.values())
+
+    def z_signs(self, n_qubits):
+        """Cached diagonal eigenvalues; only valid for diagonal strings."""
+        return _sv.pauli_z_string_signs(n_qubits, self.wires)
+
     def apply(self, psi, n_qubits):
         """Return ``O |psi>`` for a batch of statevectors."""
+        if self.terms and self.is_diagonal and _program.program_enabled():
+            return psi * self.z_signs(n_qubits)
         out = psi
         for wire, pauli in self.terms.items():
             out = _sv.apply_matrix(out, _PAULI_MATRICES[pauli], (wire,), n_qubits)
@@ -81,6 +93,10 @@ class PauliString:
         """``<psi|O|psi>`` per batch sample (real, shape ``(B,)``)."""
         if self.is_identity():
             return np.real(_sv.inner_products(psi, psi))
+        if self.is_diagonal and _program.program_enabled():
+            # <psi| diag(s) |psi> = sum_i s_i |psi_i|^2: one probability
+            # pass and a matvec against the cached sign diagonal.
+            return _sv.probabilities(psi) @ self.z_signs(n_qubits)
         applied = self.apply(psi, n_qubits)
         return np.real(_sv.inner_products(psi, applied))
 

@@ -11,6 +11,8 @@ variational rotations share one angle across the batch.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.quantum import gates as _gates
@@ -26,6 +28,7 @@ __all__ = [
     "marginal_probabilities",
     "sample_bitstrings",
     "expectation_pauli_z",
+    "pauli_z_string_signs",
     "inner_products",
     "Statevector",
 ]
@@ -132,8 +135,13 @@ def normalize(psi):
 
 
 def probabilities(psi):
-    """Measurement probabilities in the computational basis, ``(B, 2**n)``."""
-    return np.abs(psi) ** 2
+    """Measurement probabilities in the computational basis, ``(B, 2**n)``.
+
+    Computed as ``real**2 + imag**2`` — same quantity as ``abs(psi)**2``
+    without the intermediate square root, and this runs once per measured
+    observable in every rollout step.
+    """
+    return np.square(psi.real) + np.square(psi.imag)
 
 
 def marginal_probabilities(psi, wires, n_qubits):
@@ -152,6 +160,33 @@ def marginal_probabilities(psi, wires, n_qubits):
     return probs.reshape(batch, 2 ** len(wires))
 
 
+def batched_inverse_cdf_sample(probs, shots, rng):
+    """One batched categorical draw per probability row: ``(B, shots)``.
+
+    Inverse-CDF sampling (``cumsum`` + right-bisection) consuming the
+    generator exactly like ``B`` successive ``rng.choice(dim, size=shots,
+    p=probs[b])`` calls: ``choice`` draws ``shots`` uniforms and inverts the
+    normalised cumsum, so drawing the whole ``(B, shots)`` uniform block
+    row-major reproduces the serial per-sample stream bit-for-bit while
+    replacing ``B`` python-level ``choice`` calls with array kernels.
+
+    ``probs`` must be non-negative; rows are renormalised by their own sum
+    (mirroring ``choice``'s internal normalisation).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    batch, dim = probs.shape
+    cdf = np.cumsum(probs, axis=1)
+    cdf /= cdf[:, -1:]
+    draws = rng.random((batch, shots))
+    if batch * dim * shots <= 1 << 22:
+        # searchsorted(cdf, v, side="right") == count of cdf entries <= v.
+        return (cdf[:, :, None] <= draws[:, None, :]).sum(axis=1, dtype=np.int64)
+    out = np.empty((batch, shots), dtype=np.int64)
+    for b in range(batch):
+        out[b] = np.searchsorted(cdf[b], draws[b], side="right")
+    return out
+
+
 def sample_bitstrings(psi, shots, rng):
     """Sample measurement outcomes for each batch sample.
 
@@ -163,18 +198,36 @@ def sample_bitstrings(psi, shots, rng):
     # Guard against tiny negative round-off and renormalise.
     probs = np.clip(probs, 0.0, None)
     probs /= probs.sum(axis=1, keepdims=True)
-    batch, dim = probs.shape
-    out = np.empty((batch, shots), dtype=np.int64)
-    for b in range(batch):
-        out[b] = rng.choice(dim, size=shots, p=probs[b])
-    return out
+    return batched_inverse_cdf_sample(probs, shots, rng)
 
 
+@functools.lru_cache(maxsize=None)
 def _z_signs(n_qubits, wire):
-    """Eigenvalue signs (+1/-1) of Pauli-Z on ``wire`` per basis state."""
+    """Eigenvalue signs (+1/-1) of Pauli-Z on ``wire`` per basis state.
+
+    Cached (and frozen read-only): this diagonal is consulted per measured
+    observable in every rollout step.
+    """
     indices = np.arange(2**n_qubits)
     bit = (indices >> (n_qubits - 1 - wire)) & 1
-    return 1.0 - 2.0 * bit
+    signs = 1.0 - 2.0 * bit
+    signs.flags.writeable = False
+    return signs
+
+
+@functools.lru_cache(maxsize=None)
+def pauli_z_string_signs(n_qubits, wires):
+    """Diagonal eigenvalues of ``prod_{w in wires} Z_w``, cached per key.
+
+    ``wires`` must be a (hashable) tuple.  An empty tuple yields the
+    identity diagonal.  The returned array is read-only — it is shared by
+    every caller with the same ``(n_qubits, wires)`` key.
+    """
+    signs = np.ones(2**n_qubits)
+    for wire in wires:
+        signs = signs * _z_signs(n_qubits, int(wire))
+    signs.flags.writeable = False
+    return signs
 
 
 def expectation_pauli_z(psi, wire, n_qubits):

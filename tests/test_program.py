@@ -1,0 +1,453 @@
+"""Equivalence and structure tests for the program-compiled kernel tier.
+
+The contract under test: :class:`repro.quantum.program.CircuitProgram`
+execution (fused diagonal / gather / dense kernels) and the
+program-compiled adjoint sweep are numerically identical — ``allclose`` at
+1e-12, usually bit-identical — to the interpreted per-gate reference path,
+across every registered gate, batched encoding angles and 2-D per-sample
+weights.  Fusion must never merge across an input-dependent operation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantum import program as qprog
+from repro.quantum.backends import StatevectorBackend
+from repro.quantum.circuit import ParameterRef, QuantumCircuit
+from repro.quantum.compile import CompiledCircuit
+from repro.quantum.encoding import DataReuploadingEncoding, AngleEncoding
+from repro.quantum.gates import GATE_REGISTRY
+from repro.quantum.gradients import adjoint_backward
+from repro.quantum.observables import Hamiltonian, PauliString, all_z_observables
+from repro.quantum.program import (
+    CircuitProgram,
+    compile_program,
+    using_program,
+)
+from repro.quantum.vqc import build_vqc
+
+ATOL = 1e-12
+
+
+def _interpreted():
+    return StatevectorBackend(program=False)
+
+
+def _all_gates_circuit():
+    """One circuit touching every gate in the registry, mixed param kinds."""
+    circuit = QuantumCircuit(4)
+    circuit.add("i", (1,))
+    circuit.add("x", (0,))
+    circuit.add("y", (2,))
+    circuit.add("z", (3,))
+    circuit.add("h", (0,))
+    circuit.add("s", (1,))
+    circuit.add("t", (2,))
+    circuit.add("cnot", (2, 0))
+    circuit.add("cz", (1, 3))
+    circuit.add("swap", (0, 3))
+    circuit.add("toffoli", (3, 1, 2))
+    circuit.add("rx", (0,), ParameterRef.input(0, scale=np.pi))
+    circuit.add("ry", (1,), ParameterRef.input(1, scale=0.5))
+    circuit.add("rz", (2,), ParameterRef.input(2))
+    circuit.add("crx", (3, 1), ParameterRef.weight(0))
+    circuit.add("cry", (0, 2), ParameterRef.weight(1, scale=2.0))
+    circuit.add("crz", (2, 3), ParameterRef.weight(2))
+    circuit.add("rx", (1,), ParameterRef.fixed(0.3))
+    circuit.add("rz", (0,), ParameterRef.weight(3))
+    circuit.add("cnot", (0, 1))
+    circuit.add("cnot", (1, 2))
+    circuit.add("cnot", (2, 3))
+    assert set(circuit.gate_counts()) == set(GATE_REGISTRY)
+    return circuit
+
+
+def _random_circuit(rng, n_qubits=4, n_ops=40):
+    """Random circuit over the full registry with random parameter kinds."""
+    names = list(GATE_REGISTRY)
+    circuit = QuantumCircuit(n_qubits)
+    n_weights = 0
+    for _ in range(n_ops):
+        spec = GATE_REGISTRY[names[rng.integers(len(names))]]
+        if spec.n_qubits > n_qubits:
+            continue
+        wires = tuple(
+            rng.choice(n_qubits, size=spec.n_qubits, replace=False).tolist()
+        )
+        param = None
+        if spec.n_params:
+            kind = rng.integers(3)
+            if kind == 0:
+                param = ParameterRef.input(
+                    int(rng.integers(4)), scale=float(rng.uniform(0.5, 2.0))
+                )
+            elif kind == 1:
+                param = ParameterRef.weight(
+                    n_weights, scale=float(rng.uniform(0.5, 2.0))
+                )
+                n_weights += 1
+            else:
+                param = ParameterRef.fixed(float(rng.uniform(-np.pi, np.pi)))
+        circuit.add(spec.name, wires, param)
+    return circuit, n_weights
+
+
+class TestProgramEquivalence:
+    def test_all_registered_gates(self, rng):
+        circuit = _all_gates_circuit()
+        inputs = rng.uniform(size=(6, 3))
+        weights = rng.uniform(-np.pi, np.pi, size=4)
+        exact = _interpreted().evolve(circuit, inputs, weights)
+        out = compile_program(circuit).evolve(inputs, weights, batch_size=6)
+        assert np.allclose(out, exact, atol=ATOL)
+
+    def test_all_gates_per_sample_weights(self, rng):
+        circuit = _all_gates_circuit()
+        inputs = rng.uniform(size=(5, 3))
+        weights = rng.uniform(-np.pi, np.pi, size=(5, 4))
+        exact = _interpreted().evolve(circuit, inputs, weights)
+        out = compile_program(circuit).evolve(inputs, weights, batch_size=5)
+        assert np.allclose(out, exact, atol=ATOL)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_circuits(self, seed):
+        rng = np.random.default_rng(seed)
+        circuit, n_weights = _random_circuit(rng)
+        inputs = rng.uniform(size=(4, 4))
+        weights = rng.uniform(-np.pi, np.pi, size=max(n_weights, 1))
+        exact = _interpreted().evolve(circuit, inputs, weights)
+        out = compile_program(circuit).evolve(inputs, weights, batch_size=4)
+        assert np.allclose(out, exact, atol=ATOL)
+
+    def test_standard_vqc_batched_encoding(self, rng):
+        vqc = build_vqc(4, 16, 50, seed=7)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(9, 16))
+        exact = _interpreted().run(vqc.circuit, vqc.observables, inputs, weights)
+        program_out = StatevectorBackend(program=True).run(
+            vqc.circuit, vqc.observables, inputs, weights
+        )
+        assert np.allclose(program_out, exact, atol=ATOL)
+
+    def test_backend_follows_global_switch(self, rng):
+        vqc = build_vqc(3, 3, 9, seed=2)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(2, 3))
+        backend = StatevectorBackend()
+        with using_program(False):
+            interpreted = backend.run(vqc.circuit, vqc.observables, inputs, weights)
+        with using_program(True):
+            compiled = backend.run(vqc.circuit, vqc.observables, inputs, weights)
+        assert np.allclose(compiled, interpreted, atol=ATOL)
+
+    def test_weights_required_error_matches(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("rx", (0,), ParameterRef.weight(0))
+        with pytest.raises(ValueError, match="references weights"):
+            compile_program(circuit).evolve(None, None, batch_size=1)
+
+    def test_short_per_sample_weights_rejected_like_interpreted(self, rng):
+        """A (1, n) weight matrix over batch 6 must raise on both tiers,
+        not silently broadcast on the program tier."""
+        circuit = QuantumCircuit(2)
+        circuit.add("rx", (0,), ParameterRef.weight(0))
+        weights = rng.uniform(size=(1, 1))
+        with pytest.raises(ValueError, match="batched matrix has batch"):
+            _interpreted().evolve(circuit, None, weights, batch_size=6)
+        with pytest.raises(ValueError, match="batched matrix has batch"):
+            compile_program(circuit).evolve(None, weights, batch_size=6)
+
+    def test_recompiles_after_circuit_mutation(self, rng):
+        circuit = QuantumCircuit(2)
+        circuit.add("h", (0,))
+        first = compile_program(circuit)
+        circuit.add("cnot", (0, 1))
+        second = compile_program(circuit)
+        assert first is not second
+        exact = _interpreted().evolve(circuit, batch_size=1)
+        assert np.allclose(second.evolve(batch_size=1), exact, atol=ATOL)
+
+    def test_cache_hit_returns_same_program(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("h", (0,))
+        assert compile_program(circuit) is compile_program(circuit)
+
+
+class TestFusion:
+    def test_fusion_never_crosses_input_ops(self, rng):
+        """Regression: input-dependent ops are fusion barriers."""
+        circuit = QuantumCircuit(2)
+        circuit.add("rx", (0,), ParameterRef.weight(0))
+        circuit.add("ry", (0,), ParameterRef.input(0))
+        circuit.add("rz", (0,), ParameterRef.weight(1))
+        circuit.add("h", (0,))
+        program = compile_program(circuit)
+        for step in program.steps:
+            if len(step.ops) > 1:
+                assert not any(op.is_input for op in step.ops)
+        # The input op must sit alone between the weight/fixed runs.
+        kinds = [step.kind for step in program.steps]
+        assert "prot" in kinds  # the lone input ry
+        flattened = [op for step in program.steps for op in step.ops]
+        assert flattened == list(circuit.operations)  # order preserved
+
+    def test_reuploading_circuit_fuses_between_blocks(self, rng):
+        """Interleaved encode/variational blocks: fusion within, not across."""
+        circuit = QuantumCircuit(2)
+        encoder = DataReuploadingEncoding(AngleEncoding(2), n_repeats=2)
+        index = 0
+        for repeat in range(2):
+            encoder.apply(circuit)
+            circuit.add("rx", (0,), ParameterRef.weight(index))
+            circuit.add("rz", (0,), ParameterRef.weight(index + 1))
+            circuit.add("cnot", (0, 1))
+            index += 2
+        program = compile_program(circuit)
+        assert any(step.kind == "fused" for step in program.steps)
+        for step in program.steps:
+            if len(step.ops) > 1:
+                assert not any(op.is_input for op in step.ops)
+        inputs = rng.uniform(size=(3, 2))
+        weights = rng.uniform(size=(4,))
+        exact = _interpreted().evolve(circuit, inputs, weights)
+        out = program.evolve(inputs, weights, batch_size=3)
+        assert np.allclose(out, exact, atol=ATOL)
+
+    def test_cnot_ring_collapses_to_one_gather(self):
+        circuit = QuantumCircuit(4)
+        for wire in range(4):
+            circuit.add("cnot", (wire, (wire + 1) % 4))
+        program = compile_program(circuit)
+        assert program.n_steps == 1
+        assert program.steps[0].kind == "gather"
+
+    def test_fused_weight_matrix_cached_across_calls(self, rng):
+        circuit = QuantumCircuit(2)
+        circuit.add("rx", (0,), ParameterRef.weight(0))
+        circuit.add("rz", (0,), ParameterRef.weight(1))
+        program = compile_program(circuit)
+        fused = [s for s in program.steps if s.kind == "fused"]
+        assert len(fused) == 1
+        weights = rng.uniform(size=2)
+        program.evolve(None, weights, batch_size=1)
+        cached = fused[0]._matrix
+        program.evolve(None, weights.copy(), batch_size=3)
+        assert fused[0]._matrix is cached  # content-equal weights hit cache
+        weights[0] += 0.5
+        exact = _interpreted().evolve(circuit, None, weights, batch_size=2)
+        out = program.evolve(None, weights, batch_size=2)
+        assert fused[0]._matrix is not cached  # in-place mutation noticed
+        assert np.allclose(out, exact, atol=ATOL)
+
+    def test_identity_gates_are_eliminated(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("i", (0,))
+        circuit.add("i", (1,))
+        program = compile_program(circuit)
+        assert program.n_steps == 0
+        assert np.allclose(
+            program.evolve(batch_size=2),
+            np.tile([1, 0, 0, 0], (2, 1)).astype(complex),
+        )
+
+
+class TestCompiledCircuitIntegration:
+    def test_prefix_program_matches_interpreted(self, rng):
+        vqc = build_vqc(4, 8, 30, seed=5)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(6, 8))
+        compiled = CompiledCircuit(vqc.circuit, vqc.observables)
+        with using_program(False):
+            interpreted = compiled.run(inputs, weights)
+        compiled_fresh = CompiledCircuit(vqc.circuit, vqc.observables)
+        with using_program(True):
+            program_out = compiled_fresh.run(inputs, weights)
+        assert np.allclose(program_out, interpreted, atol=ATOL)
+
+    def test_ensemble_weights_through_program_prefix(self, rng):
+        vqc = build_vqc(3, 3, 12, seed=5)
+        n_sets, k = 3, 4
+        weights = np.stack([vqc.initial_weights(rng) for _ in range(n_sets)])
+        inputs = rng.uniform(size=(k * n_sets, 3))
+        compiled = CompiledCircuit(vqc.circuit, vqc.observables)
+        outputs = compiled.run(inputs, weights)
+        exact = _interpreted().run(
+            vqc.circuit, vqc.observables, inputs, np.tile(weights, (k, 1))
+        )
+        assert np.allclose(outputs, exact, atol=ATOL)
+
+
+class TestProgramAdjoint:
+    def _grads(self, circuit, observables, inputs, weights, upstream):
+        with using_program(True):
+            gi_p, gw_p = adjoint_backward(
+                circuit, observables, inputs, weights, upstream
+            )
+        with using_program(False):
+            gi_i, gw_i = adjoint_backward(
+                circuit, observables, inputs, weights, upstream
+            )
+        return (gi_p, gw_p), (gi_i, gw_i)
+
+    def test_vqc_adjoint_matches_interpreted(self, rng):
+        vqc = build_vqc(4, 8, 30, seed=3)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(5, 8))
+        upstream = rng.normal(size=(5, 4))
+        (gi_p, gw_p), (gi_i, gw_i) = self._grads(
+            vqc.circuit, vqc.observables, inputs, weights, upstream
+        )
+        assert np.allclose(gi_p, gi_i, atol=ATOL)
+        assert np.allclose(gw_p, gw_i, atol=ATOL)
+
+    def test_all_gates_adjoint_matches_interpreted(self, rng):
+        circuit = _all_gates_circuit()
+        observables = all_z_observables(4)
+        inputs = rng.uniform(size=(3, 3))
+        weights = rng.uniform(-np.pi, np.pi, size=4)
+        upstream = rng.normal(size=(3, 4))
+        (gi_p, gw_p), (gi_i, gw_i) = self._grads(
+            circuit, observables, inputs, weights, upstream
+        )
+        assert np.allclose(gi_p, gi_i, atol=ATOL)
+        assert np.allclose(gw_p, gw_i, atol=ATOL)
+
+    def test_per_sample_weight_adjoint_matches(self, rng):
+        """2-D weights: per-sample weight gradients ride the stacked sweep."""
+        vqc = build_vqc(3, 3, 15, seed=9)
+        batch = 6
+        weights = np.stack([vqc.initial_weights(rng) for _ in range(batch)])
+        inputs = rng.uniform(size=(batch, 3))
+        upstream = rng.normal(size=(batch, 3))
+        (gi_p, gw_p), (gi_i, gw_i) = self._grads(
+            vqc.circuit, vqc.observables, inputs, weights, upstream
+        )
+        assert gw_p.shape == (batch, 15)
+        assert np.allclose(gi_p, gi_i, atol=ATOL)
+        assert np.allclose(gw_p, gw_i, atol=ATOL)
+
+    def test_hamiltonian_observable_adjoint(self, rng):
+        vqc = build_vqc(3, 3, 9, seed=1)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(4, 3))
+        ham = Hamiltonian(
+            np.array([0.5, -1.5, 2.0]),
+            [PauliString.z(0), PauliString({1: "Z", 2: "Z"}), PauliString({0: "X"})],
+        )
+        upstream = rng.normal(size=(4, 1))
+        (gi_p, gw_p), (gi_i, gw_i) = self._grads(
+            vqc.circuit, [ham], inputs, weights, upstream
+        )
+        assert np.allclose(gi_p, gi_i, atol=ATOL)
+        assert np.allclose(gw_p, gw_i, atol=ATOL)
+
+
+class TestMeasurementKernels:
+    def test_diagonal_measure_matches_interpreted(self, rng):
+        vqc = build_vqc(3, 3, 9, seed=4)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(4, 3))
+        observables = [
+            PauliString.z(0),
+            PauliString({0: "Z", 2: "Z"}),
+            PauliString({1: "X"}),
+            PauliString(()),
+            Hamiltonian(np.array([1.0, -2.0]), [PauliString.z(1), PauliString.z(2)]),
+        ]
+        with using_program(True):
+            fast = StatevectorBackend().run(vqc.circuit, observables, inputs, weights)
+        with using_program(False):
+            reference = StatevectorBackend().run(
+                vqc.circuit, observables, inputs, weights
+            )
+        assert np.allclose(fast, reference, atol=ATOL)
+
+    def test_z_sign_cache_returns_shared_readonly_arrays(self):
+        from repro.quantum import statevector as sv
+
+        first = sv.pauli_z_string_signs(3, (0, 2))
+        second = sv.pauli_z_string_signs(3, (0, 2))
+        assert first is second
+        assert not first.flags.writeable
+
+    def test_probabilities_match_abs_square(self, rng):
+        from repro.quantum import statevector as sv
+
+        psi = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        assert np.allclose(sv.probabilities(psi), np.abs(psi) ** 2, atol=ATOL)
+
+
+class TestVectorizedSampling:
+    def test_sample_bitstrings_stream_matches_choice_loop(self, rng):
+        """The batched inverse-CDF sampler consumes the generator exactly
+        like the previous per-sample ``rng.choice`` loop."""
+        from repro.quantum import statevector as sv
+
+        psi = rng.normal(size=(5, 8)) + 1j * rng.normal(size=(5, 8))
+        psi = sv.normalize(psi)
+        probs = sv.probabilities(psi)
+        probs = np.clip(probs, 0.0, None)
+        probs /= probs.sum(axis=1, keepdims=True)
+        reference_rng = np.random.default_rng(123)
+        reference = np.stack(
+            [reference_rng.choice(8, size=11, p=probs[b]) for b in range(5)]
+        )
+        sampled = sv.sample_bitstrings(psi, 11, np.random.default_rng(123))
+        assert np.array_equal(sampled, reference)
+
+    def test_mean_signs_stream_matches_choice_loop(self, rng):
+        from repro.quantum.backends import _sample_mean_signs
+
+        probs = rng.uniform(size=(4, 8))
+        probs /= probs.sum(axis=1, keepdims=True)
+        signs = np.where(np.arange(8) % 2 == 0, 1.0, -1.0)
+        reference_rng = np.random.default_rng(77)
+        reference = np.array(
+            [
+                signs[reference_rng.choice(8, size=16, p=probs[b])].mean()
+                for b in range(4)
+            ]
+        )
+        estimated = _sample_mean_signs(
+            probs.copy(), signs, 16, np.random.default_rng(77)
+        )
+        assert np.allclose(estimated, reference, atol=ATOL)
+
+    def test_shot_backend_equivalent_streams(self, rng):
+        """Shot-sampled expectations are reproducible under a fixed seed."""
+        vqc = build_vqc(2, 2, 6, seed=4)
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(3, 2))
+        first = StatevectorBackend(shots=64, rng=np.random.default_rng(5)).run(
+            vqc.circuit, vqc.observables, inputs, weights
+        )
+        second = StatevectorBackend(shots=64, rng=np.random.default_rng(5)).run(
+            vqc.circuit, vqc.observables, inputs, weights
+        )
+        assert np.array_equal(first, second)
+
+
+class TestProgramIntrospection:
+    def test_kernel_counts_and_repr(self):
+        circuit = _all_gates_circuit()
+        program = compile_program(circuit)
+        counts = program.kernel_counts()
+        assert sum(counts.values()) == program.n_steps
+        assert "CircuitProgram" in repr(program)
+
+    def test_subcircuit_program(self, rng):
+        """Programs compile from op slices (CompiledCircuit's halves)."""
+        vqc = build_vqc(3, 3, 9, seed=0)
+        split = 3
+        prefix = CircuitProgram(3, vqc.circuit.operations[:split])
+        suffix = CircuitProgram(3, vqc.circuit.operations[split:])
+        weights = vqc.initial_weights(rng)
+        inputs = rng.uniform(size=(2, 3))
+        psi = prefix.apply(
+            np.tile([1, 0, 0, 0, 0, 0, 0, 0], (2, 1)).astype(complex),
+            inputs,
+            weights,
+        )
+        psi = suffix.apply(psi, inputs, weights)
+        exact = _interpreted().evolve(vqc.circuit, inputs, weights)
+        assert np.allclose(psi, exact, atol=ATOL)
