@@ -44,8 +44,14 @@ def main():
     #     any worker count reproduces the in-process N-copy run bit for bit.
     #     Worth it only with idle cores: try W = cores - 1 with at least ~4
     #     env rows per worker; on a single-core machine leave it at 1.
+    #   - rollout_transport picks how sharded workers ship transitions back:
+    #     "pipe" pickles them, "shm" uses zero-copy shared-memory rings,
+    #     "auto" (default) switches to shm once episode blocks grow large.
+    #     Bit-identical either way; only applies when a pool actually runs.
     parser.add_argument("--rollout-envs", type=int, default=4)
     parser.add_argument("--rollout-workers", type=int, default=1)
+    parser.add_argument("--rollout-transport", default="auto",
+                        choices=("auto", "pipe", "shm"))
     args = parser.parse_args()
 
     # -- 1. the VQC of Fig. 1 ------------------------------------------------
@@ -106,6 +112,7 @@ def main():
             # across worker processes (see repro.marl.parallel).
             rollout_envs=args.rollout_envs,
             rollout_workers=args.rollout_workers,
+            rollout_transport=args.rollout_transport,
         ),
     )
     print()

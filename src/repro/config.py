@@ -182,6 +182,14 @@ class TrainingConfig:
             ``rollout_episode`` loop) / ``"vector"`` (the in-process batched
             engine, any copy count) / ``"sharded"`` (the worker-pool engine,
             any worker count).
+        rollout_transport: How the sharded engine's workers ship transition
+            blocks back — ``"pipe"`` (pickle over the command pipe),
+            ``"shm"`` (per-worker shared-memory ring buffers; zero pickling
+            on episode arrays), or ``"auto"`` (shm once estimated episode
+            blocks outgrow the pickling regime).  Bit-identical either way;
+            purely a throughput knob.  Only meaningful for sharded
+            collection: setting it explicitly alongside settings that can
+            never shard is rejected at construction.
     """
 
     n_epochs: int = 1000
@@ -196,8 +204,10 @@ class TrainingConfig:
     rollout_envs: int = 1
     rollout_workers: int = 1
     rollout_mode: str = "auto"
+    rollout_transport: str = "auto"
 
     _ROLLOUT_MODES = ("auto", "serial", "vector", "sharded")
+    _ROLLOUT_TRANSPORTS = ("auto", "pipe", "shm")
 
     def __post_init__(self):
         if self.n_epochs < 1 or self.episodes_per_epoch < 1:
@@ -226,6 +236,56 @@ class TrainingConfig:
                 f"rollout_mode must be one of {self._ROLLOUT_MODES}, "
                 f"got {self.rollout_mode!r}"
             )
+        if self.rollout_transport not in self._ROLLOUT_TRANSPORTS:
+            raise ValueError(
+                f"rollout_transport must be one of "
+                f"{self._ROLLOUT_TRANSPORTS}, got {self.rollout_transport!r}"
+            )
+        if self.rollout_transport != "auto":
+            # A transport choice is inert unless the sharded engine can run;
+            # silently ignoring the knob would hide a misconfiguration.  The
+            # *effective* worker count is what decides — e.g. many workers
+            # over one effective env copy still collapse to in-process.
+            can_shard = self.rollout_mode == "sharded" or (
+                self.rollout_mode == "auto"
+                and self.effective_rollout_workers > 1
+            )
+            if not can_shard:
+                raise ValueError(
+                    f"rollout_transport={self.rollout_transport!r} only "
+                    f"affects process-sharded collection, but "
+                    f"rollout_mode={self.rollout_mode!r} with "
+                    f"rollout_workers={self.rollout_workers} over "
+                    f"{self.effective_rollout_envs} effective env copies "
+                    f"(rollout_envs={self.rollout_envs}, episodes_per_epoch="
+                    f"{self.episodes_per_epoch}) never starts a worker pool; "
+                    f"set rollout_mode='sharded' (or enough envs/workers "
+                    f"with mode 'auto'), or leave rollout_transport='auto'"
+                )
+
+    @property
+    def effective_rollout_envs(self):
+        """Lockstep env copies epoch collection actually uses.
+
+        Clamped to the largest divisor of ``episodes_per_epoch`` not above
+        the configured count: with fixed-length episodes all copies finish
+        in lockstep, so a non-divisor count would fully collect — then
+        silently discard — up to ``n_envs - 1`` surplus episodes every
+        epoch.  A divisor wastes nothing.
+        """
+        configured = min(self.rollout_envs, self.episodes_per_epoch)
+        while self.episodes_per_epoch % configured:
+            configured -= 1
+        return configured
+
+    @property
+    def effective_rollout_workers(self):
+        """Effective worker process count for sharded collection.
+
+        Clamped to the effective env copy count — a worker without at least
+        one env row would idle while still costing a process.
+        """
+        return min(self.rollout_workers, self.effective_rollout_envs)
 
 
 # Classical baseline shapes used by the paper's comparison (Section IV-C).

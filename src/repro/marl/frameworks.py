@@ -218,6 +218,7 @@ def build_framework(
     comp3_net=COMP3_NET,
     rollout_envs=None,
     rollout_workers=None,
+    rollout_transport=None,
 ):
     """Construct one experimental arm, fully wired and reproducibly seeded.
 
@@ -242,6 +243,9 @@ def build_framework(
             processes the sharded rollout engine splits those copies across
             (in-process when 1; call ``framework.close()`` when done to shut
             the pool down).
+        rollout_transport: Convenience override of
+            ``train_config.rollout_transport`` — how sharded workers ship
+            transition blocks back (``"pipe"``, ``"shm"``, or ``"auto"``).
     """
     if name not in FRAMEWORK_NAMES:
         raise ValueError(f"unknown framework {name!r}; choose from {FRAMEWORK_NAMES}")
@@ -252,6 +256,10 @@ def build_framework(
         train_config = replace(train_config, rollout_envs=int(rollout_envs))
     if rollout_workers is not None:
         train_config = replace(train_config, rollout_workers=int(rollout_workers))
+    if rollout_transport is not None:
+        train_config = replace(
+            train_config, rollout_transport=str(rollout_transport)
+        )
     seeds = SeedSequenceFactory(seed)
 
     if noise_model is not None or shots is not None:

@@ -5,11 +5,15 @@ vectorized engine.
 in-process vectorized engine (:mod:`repro.envs.vector`,
 :mod:`repro.marl.rollout`) into ``W`` contiguous row shards, each owned by a
 long-lived worker process that steps its shard with local batched circuit
-evaluation and ships completed episode blocks back over the pickle-pipe
-transport (:mod:`repro.marl.parallel.transport`).  The parent broadcasts the
-current actor weights with every collect command (so each
-:meth:`~repro.marl.trainer.CTDETrainer.update` is visible to the mirrors)
-and reassembles episodes in deterministic global order.
+evaluation and ships completed episode blocks back over a per-worker
+transport (:mod:`repro.marl.parallel.transport`): the pickle-pipe fallback
+or a zero-copy shared-memory ring buffer, selected by the ``transport``
+argument (``"auto"`` picks shm once episode blocks outgrow the pickling
+regime).  The parent broadcasts the current actor weights with every collect
+command (so each :meth:`~repro.marl.trainer.CTDETrainer.update` is visible
+to the mirrors) and reassembles episodes in deterministic global order.
+Both transports produce bit-identical episodes, stats, and RNG stream
+positions; the choice is purely a throughput knob.
 
 Determinism contract (pinned by ``tests/test_parallel_rollout.py``):
 
@@ -45,13 +49,44 @@ import numpy as np
 
 from repro.envs.vector import _spawn_row_rngs
 from repro.marl.parallel.transport import (
-    PipeChannel,
+    DEFAULT_N_SLOTS,
+    DEFAULT_SLOT_BYTES,
     WorkerCrashError,
     get_rng_state,
+    make_transport,
 )
 from repro.marl.parallel.worker import worker_main
 
-__all__ = ["ShardedRolloutCollector"]
+__all__ = ["ShardedRolloutCollector", "estimate_episode_block_bytes"]
+
+# The "auto" transport rule: shared memory pays once the per-episode
+# transition block outgrows what a pickle round-trip handles cheaply.  The
+# crossover on commodity hardware sits in the tens of kilobytes; below it
+# the pipe's simplicity wins, above it pickling dominates the collect.
+AUTO_SHM_MIN_BLOCK_BYTES = 32 * 1024
+
+_TRANSPORT_KINDS = ("auto", "pipe", "shm")
+
+
+def estimate_episode_block_bytes(env, episode_limit):
+    """Predicted size of one episode's transition block on the wire.
+
+    Counts the stacked per-step columns the workers ship back (states,
+    observations and their successors as float64, int64 actions, float64
+    rewards, bool dones) — the quantity the ``"auto"`` transport rule
+    compares against :data:`AUTO_SHM_MIN_BLOCK_BYTES`.
+    """
+    n_agents = env.n_agents
+    state_size = int(getattr(env, "state_size", 0))
+    obs_size = int(env.observation_size)
+    per_step = (
+        8 * 2 * state_size          # states + next_states
+        + 8 * 2 * n_agents * obs_size  # observations + next_observations
+        + 8 * n_agents              # int64 actions
+        + 8                          # float64 reward
+        + 1                          # bool done
+    )
+    return int(episode_limit) * per_step
 
 
 def _default_start_method():
@@ -68,12 +103,14 @@ def _default_start_method():
 
 
 class _WorkerHandle:
-    """Parent-side record of one worker: process, channel, shard, checkpoint."""
+    """Parent-side record of one worker: process, channel, transport, shard,
+    checkpoint."""
 
-    def __init__(self, context, payload, name):
+    def __init__(self, context, payload, name, transport):
         self.context = context
         self.payload = payload
         self.name = name
+        self.transport = transport
         self.n_rows = len(payload["rngs"])
         self.checkpoint = None
         self.process = None
@@ -81,14 +118,23 @@ class _WorkerHandle:
         self.restarts = 0
 
     def start(self):
-        """Spawn the process and initialise it (from a checkpoint if cached)."""
+        """Spawn the process and initialise it (from a checkpoint if cached).
+
+        The transport is reset first, so a restart reclaims whatever a dead
+        incarnation left in its shared-memory ring before the replacement
+        begins publishing from the replayed checkpoint.
+        """
+        self.transport.reset()
         parent_end, child_end = self.context.Pipe()
         self.process = self.context.Process(
-            target=worker_main, args=(child_end,), daemon=True, name=self.name
+            target=worker_main,
+            args=(child_end, self.transport.worker_info()),
+            daemon=True,
+            name=self.name,
         )
         self.process.start()
         child_end.close()
-        self.channel = PipeChannel(self.process, parent_end)
+        self.channel = self.transport.parent_channel(self.process, parent_end)
         payload = dict(self.payload)
         payload["checkpoint"] = self.checkpoint
         self.channel.send(("init", payload))
@@ -123,6 +169,7 @@ class _WorkerHandle:
             except Exception:  # noqa: BLE001 — dying worker; force below
                 pass
         self.terminate()
+        self.transport.close()
 
 
 class ShardedRolloutCollector:
@@ -140,13 +187,31 @@ class ShardedRolloutCollector:
         n_workers: Worker process count ``W`` (clamped to ``n_envs``).
         start_method: ``multiprocessing`` start method; defaults to
             ``"fork"`` where available, else ``"spawn"``.
+        transport: How transition blocks travel back from the workers —
+            ``"pipe"`` (pickle over the command pipe), ``"shm"`` (per-worker
+            shared-memory ring buffers, zero pickling on the episode
+            arrays), or ``"auto"`` (shm once the estimated per-episode
+            block exceeds :data:`AUTO_SHM_MIN_BLOCK_BYTES`).  Both
+            transports are bit-identical; the knob is purely throughput.
+        shm_slot_bytes: Ring slot granularity for the shm transport
+            (default 16 KiB).
+        shm_slots: Ring capacity in slots per worker (default 64).  Blocks
+            larger than one slot span contiguous slots; blocks larger than
+            the whole ring stream through chunk frames, so sizing is a
+            throughput knob, never a correctness one.
     """
 
-    def __init__(self, env, actors, n_envs, n_workers, start_method=None):
+    def __init__(self, env, actors, n_envs, n_workers, start_method=None,
+                 transport="auto", shm_slot_bytes=None, shm_slots=None):
         if n_envs < 1:
             raise ValueError("n_envs must be >= 1")
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if transport not in _TRANSPORT_KINDS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORT_KINDS}, "
+                f"got {transport!r}"
+            )
         if env.n_agents != actors.n_agents:
             raise ValueError(
                 f"env has {env.n_agents} agents, group has {actors.n_agents}"
@@ -169,6 +234,18 @@ class ShardedRolloutCollector:
         self.episode_limit = episode_limit
         self._closed = False
 
+        if transport == "auto":
+            block_bytes = estimate_episode_block_bytes(env, episode_limit)
+            transport = (
+                "shm" if block_bytes >= AUTO_SHM_MIN_BLOCK_BYTES else "pipe"
+            )
+        self.transport = transport
+        slot_bytes = (
+            int(shm_slot_bytes) if shm_slot_bytes is not None
+            else DEFAULT_SLOT_BYTES
+        )
+        n_slots = int(shm_slots) if shm_slots is not None else DEFAULT_N_SLOTS
+
         # Row streams are spawned centrally, before sharding, so every global
         # row's generator is independent of the worker layout (and identical
         # to what make_vector_env would build in-process, including the
@@ -179,6 +256,10 @@ class ShardedRolloutCollector:
         context = multiprocessing.get_context(
             start_method if start_method is not None else _default_start_method()
         )
+        # Segments are created here, before any worker process exists, so
+        # the multiprocessing resource tracker is started by (and shared
+        # from) the parent — attaching children register against the same
+        # tracker and a single parent-side unlink retires each name.
         for w, rows in enumerate(shards):
             payload = {
                 "env": env,
@@ -188,7 +269,12 @@ class ShardedRolloutCollector:
                 "actors": actors,
             }
             self._workers.append(
-                _WorkerHandle(context, payload, name=f"repro-rollout-{w}")
+                _WorkerHandle(
+                    context, payload, name=f"repro-rollout-{w}",
+                    transport=make_transport(
+                        transport, slot_bytes=slot_bytes, n_slots=n_slots
+                    ),
+                )
             )
         try:
             for worker in self._workers:
@@ -203,6 +289,16 @@ class ShardedRolloutCollector:
     def total_restarts(self):
         """Crash-recovery count across the pool (diagnostics)."""
         return sum(w.restarts for w in self._workers)
+
+    def shm_segment_names(self):
+        """Names of the live shared-memory segments (empty for ``pipe``).
+
+        Every name listed here must disappear from the system (``/dev/shm``
+        on Linux) after :meth:`close` — the leak-check contract the tests
+        and the CI job enforce.
+        """
+        names = [w.transport.segment_name() for w in self._workers]
+        return [name for name in names if name is not None]
 
     def _actor_weight_states(self):
         return [
@@ -344,5 +440,6 @@ class ShardedRolloutCollector:
     def __repr__(self):
         return (
             f"ShardedRolloutCollector(n_envs={self.n_envs}, "
-            f"n_workers={self.n_workers}, n_agents={self.actors.n_agents})"
+            f"n_workers={self.n_workers}, n_agents={self.actors.n_agents}, "
+            f"transport={self.transport!r})"
         )

@@ -40,7 +40,11 @@ import numpy as np
 from repro.envs.vector import make_vector_env
 from repro.marl.actors import categorical_from_draws
 from repro.marl.rollout import VectorRolloutCollector
-from repro.marl.parallel.transport import get_rng_state, rng_from_state
+from repro.marl.parallel.transport import (
+    get_rng_state,
+    make_worker_endpoint,
+    rng_from_state,
+)
 
 __all__ = ["ShardActionAdapter", "worker_main"]
 
@@ -142,25 +146,41 @@ class _WorkerState:
         }
 
 
-def worker_main(connection):
-    """Blocking command loop run inside each worker process."""
+def worker_main(connection, transport_info=None):
+    """Blocking command loop run inside each worker process.
+
+    ``transport_info`` selects how transition blocks travel back to the
+    parent (see :func:`~repro.marl.parallel.transport.make_worker_endpoint`):
+    ``None``/pipe replies pickle everything, shm replies publish episode
+    blocks through the worker's shared-memory ring while the control
+    payload stays on the pipe.
+    """
+    try:
+        endpoint = make_worker_endpoint(connection, transport_info)
+    except Exception:  # noqa: BLE001 — e.g. the shm segment vanished
+        try:
+            connection.send(("error", traceback.format_exc()))
+            connection.close()
+        except OSError:
+            pass
+        return
     state = None
     crash_armed = False
     while True:
         try:
-            message = connection.recv()
+            message = endpoint.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
         command = message[0]
         if command == "close":
-            connection.send(("ok", None))
+            endpoint.send_ok(None)
             break
         if command == "arm_crash":
             # Crash-injection hook for the restart/requeue tests: the *next*
             # command kills the process mid-task, without a reply, exactly
             # like a segfault or OOM kill during collection would.
             crash_armed = True
-            connection.send(("ok", None))
+            endpoint.send_ok(None)
             continue
         if crash_armed:
             os._exit(86)
@@ -177,10 +197,7 @@ def worker_main(connection):
             else:
                 raise RuntimeError(f"unknown worker command {command!r}")
         except Exception:  # noqa: BLE001 — ship any failure to the parent
-            connection.send(("error", traceback.format_exc()))
+            endpoint.send_error(traceback.format_exc())
         else:
-            connection.send(("ok", reply))
-    try:
-        connection.close()
-    except OSError:
-        pass
+            endpoint.send_ok(reply)
+    endpoint.close()

@@ -133,27 +133,15 @@ class CTDETrainer:
 
     @property
     def rollout_envs(self):
-        """Effective lockstep env copies for epoch collection.
-
-        Clamped to the largest divisor of ``episodes_per_epoch`` not above
-        the configured count: with fixed-length episodes all copies finish
-        in lockstep, so a non-divisor count would fully collect — then
-        silently discard — up to ``n_envs - 1`` surplus episodes every
-        epoch.  A divisor wastes nothing.
-        """
-        configured = min(self.config.rollout_envs, self.config.episodes_per_epoch)
-        while self.config.episodes_per_epoch % configured:
-            configured -= 1
-        return configured
+        """Effective lockstep env copies for epoch collection (the config's
+        divisor clamp — see ``TrainingConfig.effective_rollout_envs``)."""
+        return self.config.effective_rollout_envs
 
     @property
     def rollout_workers(self):
-        """Effective worker process count for sharded collection.
-
-        Clamped to the effective env copy count — a worker without at least
-        one env row would idle while still costing a process.
-        """
-        return min(self.config.rollout_workers, self.rollout_envs)
+        """Effective worker process count for sharded collection (clamped
+        to the effective copy count by the config)."""
+        return self.config.effective_rollout_workers
 
     @property
     def sharded_rollouts(self):
@@ -199,6 +187,7 @@ class CTDETrainer:
                 self.actors,
                 n_envs=self.rollout_envs,
                 n_workers=self.rollout_workers,
+                transport=self.config.rollout_transport,
             )
         return self._sharded_collector
 

@@ -1,11 +1,206 @@
-"""Shared numeric helpers for the test suite."""
+"""Shared helpers for the test suite: numeric oracles plus the unified
+cross-engine rollout equivalence harness.
+
+The repo's determinism contract spans four interchangeable collection
+engines — the serial reference loop, the in-process vectorized engine, and
+the process-sharded engine over either transition transport (pickle-pipe or
+shared-memory ring).  The harness here builds identically-seeded trainers
+for any engine over either environment family and asserts bit-identical
+episodes, train-epoch metrics, and post-run RNG stream positions, so every
+suite pins the contract through one code path instead of hand-rolled
+copies.
+"""
 
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.config import SingleHopConfig, TrainingConfig
+from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
+from repro.envs.single_hop import SingleHopOffloadEnv
+from repro.marl.actors import ActorGroup, ClassicalActor
+from repro.marl.critics import ClassicalCentralCritic
+from repro.marl.parallel.transport import EPISODE_COLUMNS
+from repro.marl.trainer import CTDETrainer
 from repro.quantum import statevector as sv
+
+
+# -- cross-engine rollout equivalence harness ---------------------------------
+
+#: Every interchangeable collection engine, in contract-chain order.
+ROLLOUT_ENGINES = ("serial", "vector", "sharded-pipe", "sharded-shm")
+
+#: Both environment families the contract must hold on.
+OFFLOAD_ENV_KINDS = ("single_hop", "multi_hop")
+
+#: TrainingConfig fragments realising each engine (n_envs/n_workers filled
+#: in by :func:`make_engine_trainer`).
+_ENGINE_SETTINGS = {
+    "serial": {"rollout_mode": "serial"},
+    "vector": {"rollout_mode": "vector"},
+    "sharded-pipe": {"rollout_mode": "sharded", "rollout_transport": "pipe"},
+    "sharded-shm": {"rollout_mode": "sharded", "rollout_transport": "shm"},
+}
+
+# EPISODE_COLUMNS (the per-episode block layout) is imported from the
+# transport codec above — one definition for wire format and harness alike.
+
+
+def make_offload_env(env_kind, seed, episode_limit=5, **env_kwargs):
+    """A deterministically seeded SingleHop or MultiHop environment."""
+    if env_kind == "single_hop":
+        config = SingleHopConfig(episode_limit=episode_limit, **env_kwargs)
+        return SingleHopOffloadEnv(config, rng=np.random.default_rng(seed))
+    if env_kind == "multi_hop":
+        return MultiHopOffloadEnv(
+            layered_topology(env_kwargs.pop("layers", (3, 2, 1))),
+            rng=np.random.default_rng(seed),
+            episode_limit=episode_limit,
+            **env_kwargs,
+        )
+    raise ValueError(f"unknown env kind {env_kind!r}")
+
+
+def make_classical_team(env, seed, hidden=(5,)):
+    """A tiny classical actor team sized to ``env`` (one weight stream)."""
+    weight_rng = np.random.default_rng(seed)
+    return ActorGroup(
+        [
+            ClassicalActor(
+                env.observation_size, env.action_space.n, hidden, weight_rng
+            )
+            for _ in range(env.n_agents)
+        ]
+    )
+
+
+def make_engine_trainer(env_kind, engine, seed=3, n_envs=4, n_workers=2,
+                        episode_limit=5, env_kwargs=None, **train_overrides):
+    """An identically-seeded :class:`CTDETrainer` for any collection engine.
+
+    Two calls with the same ``(env_kind, seed, ...)`` but different
+    ``engine`` build trainers whose only difference is the collection
+    engine — the precondition for asserting bit-identical behaviour.
+    """
+    if engine not in _ENGINE_SETTINGS:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ROLLOUT_ENGINES}"
+        )
+    env = make_offload_env(
+        env_kind, seed, episode_limit=episode_limit, **(env_kwargs or {})
+    )
+    actors = make_classical_team(env, seed + 1)
+    critic = ClassicalCentralCritic(
+        env.state_size, (4,), np.random.default_rng(seed + 7)
+    )
+    target = ClassicalCentralCritic(
+        env.state_size, (4,), np.random.default_rng(seed + 8)
+    )
+    settings = {
+        "n_epochs": 2,
+        "episodes_per_epoch": 4,
+        "actor_lr": 1e-2,
+        "critic_lr": 1e-2,
+        "rollout_envs": n_envs,
+        "rollout_workers": n_workers,
+    }
+    settings.update(_ENGINE_SETTINGS[engine])
+    settings.update(train_overrides)
+    if settings["rollout_mode"] in ("serial", "vector"):
+        settings["rollout_workers"] = 1
+    config = TrainingConfig(**settings)
+    return CTDETrainer(
+        env, actors, critic, target, config, np.random.default_rng(seed)
+    )
+
+
+@dataclass
+class EngineRun:
+    """Everything one engine produced: the bit-identity comparison surface."""
+
+    engine: str
+    records: list  # train_epoch metric dicts, in order
+    episode_batches: list  # per epoch: the collected Episode objects
+    action_rng_state: dict  # trainer.rng position after the run
+    env_rng_state: dict  # env.rng position after the run
+
+
+def run_engine_epochs(env_kind, engine, n_epochs=2, **kwargs):
+    """Run ``n_epochs`` train epochs under one engine; capture everything."""
+    trainer = make_engine_trainer(env_kind, engine, **kwargs)
+    try:
+        records, episode_batches = [], []
+        for _ in range(n_epochs):
+            records.append(trainer.train_epoch())
+            # The buffer holds exactly this epoch's episodes until the next
+            # epoch clears it.
+            episode_batches.append(list(trainer.buffer.episodes))
+        return EngineRun(
+            engine=engine,
+            records=records,
+            episode_batches=episode_batches,
+            action_rng_state=trainer.rng.bit_generator.state,
+            env_rng_state=trainer.env.rng.bit_generator.state,
+        )
+    finally:
+        trainer.close()
+
+
+def assert_episodes_equal(left, right):
+    """Bit-exact equality over every column of two episode lists."""
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        for column in EPISODE_COLUMNS:
+            assert np.array_equal(
+                getattr(a, column), getattr(b, column)
+            ), column
+
+
+def assert_engine_runs_equal(reference, other):
+    """Bit-identical episodes, metrics, and RNG stream positions.
+
+    The env stream is only comparable between engines with the same reset
+    discipline: the batched engines auto-reset the moment an episode ends,
+    pre-drawing the *next* episode's reset randomness that the serial loop
+    would draw at its next ``env.reset()`` — mid-run the interleaving is
+    bit-identical (that is what the episode/metric/action-stream asserts
+    pin), but at run end the batched env stream sits exactly one pending
+    reset draw ahead of serial whenever resets consume randomness.
+    """
+    label = f"{other.engine} vs {reference.engine}"
+    assert len(reference.records) == len(other.records), label
+    for record_ref, record_other in zip(reference.records, other.records):
+        assert record_ref.keys() == record_other.keys(), label
+        for key in record_ref:
+            assert record_ref[key] == record_other[key], f"{label}: {key}"
+    for batch_ref, batch_other in zip(
+        reference.episode_batches, other.episode_batches
+    ):
+        assert_episodes_equal(batch_ref, batch_other)
+    assert reference.action_rng_state == other.action_rng_state, label
+    if "serial" not in (reference.engine, other.engine):
+        assert reference.env_rng_state == other.env_rng_state, label
+
+
+def assert_cross_engine_equivalence(env_kind, engines, n_epochs=2, **kwargs):
+    """The harness: every engine's run is bit-identical to the first's.
+
+    With ``n_envs=1`` the full four-way chain
+    serial == vector == sharded-pipe == sharded-shm holds; with more
+    lockstep copies the batched engines (vector and both sharded
+    transports) remain mutually bit-identical while serial legitimately
+    consumes streams differently.
+    """
+    runs = [
+        run_engine_epochs(env_kind, engine, n_epochs=n_epochs, **kwargs)
+        for engine in engines
+    ]
+    for other in runs[1:]:
+        assert_engine_runs_equal(runs[0], other)
+    return runs
 
 
 def random_state(rng, n_qubits, batch=1):

@@ -96,6 +96,8 @@ class TestTrainingConfig:
             {"rollout_mode": "parallel"},
             {"rollout_mode": "Vector"},
             {"rollout_mode": ""},
+            {"rollout_transport": "tcp"},
+            {"rollout_transport": "Shm"},
         ],
     )
     def test_validation(self, kwargs):
@@ -111,11 +113,60 @@ class TestTrainingConfig:
             TrainingConfig(rollout_workers=0)
         with pytest.raises(ValueError, match="rollout_mode"):
             TrainingConfig(rollout_mode="threads")
+        with pytest.raises(ValueError, match="rollout_transport"):
+            TrainingConfig(rollout_transport="ring")
 
     def test_rollout_modes_accepted(self):
         for mode in ("auto", "serial", "vector", "sharded"):
             assert TrainingConfig(rollout_mode=mode).rollout_mode == mode
         assert TrainingConfig(rollout_envs=8, rollout_workers=4).rollout_workers == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # An explicit transport with settings that can never start the
+            # sharded engine is a misconfiguration, not a no-op.
+            {"rollout_transport": "shm"},
+            {"rollout_transport": "pipe"},
+            {"rollout_transport": "shm", "rollout_mode": "serial"},
+            {"rollout_transport": "shm", "rollout_mode": "vector",
+             "rollout_envs": 8},
+            {"rollout_transport": "pipe", "rollout_mode": "vector",
+             "rollout_workers": 4},
+            # Many workers over one *effective* env copy still collapse to
+            # in-process collection (the trainer clamps W to the copies).
+            {"rollout_transport": "shm", "rollout_workers": 4},
+            {"rollout_transport": "shm", "rollout_workers": 2,
+             "rollout_envs": 4, "episodes_per_epoch": 1},
+        ],
+    )
+    def test_inert_transport_combinations_rejected(self, kwargs):
+        with pytest.raises(ValueError, match="rollout_transport"):
+            TrainingConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rollout_transport": "shm", "rollout_mode": "sharded"},
+            {"rollout_transport": "pipe", "rollout_mode": "sharded"},
+            {"rollout_transport": "shm", "rollout_workers": 2,
+             "rollout_envs": 2},
+            {"rollout_transport": "auto"},  # inert-safe: resolves lazily
+            {"rollout_transport": "auto", "rollout_mode": "serial"},
+        ],
+    )
+    def test_effective_transport_combinations_accepted(self, kwargs):
+        config = TrainingConfig(**kwargs)
+        assert config.rollout_transport == kwargs["rollout_transport"]
+
+    def test_effective_rollout_clamps(self):
+        """The divisor/worker clamps are visible on the config itself."""
+        config = TrainingConfig(episodes_per_epoch=6, rollout_envs=4,
+                                rollout_workers=16)
+        assert config.effective_rollout_envs == 3
+        assert config.effective_rollout_workers == 3
+        assert TrainingConfig(episodes_per_epoch=7,
+                              rollout_envs=4).effective_rollout_envs == 1
 
 
 class TestBaselineShapes:

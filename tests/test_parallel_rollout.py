@@ -1,65 +1,52 @@
 """Determinism, crash-recovery, and lifecycle tests for the process-sharded
-rollout subsystem (``repro.marl.parallel``)."""
+rollout subsystem (``repro.marl.parallel``), over both transition
+transports (pickle-pipe and shared-memory ring)."""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.config import SingleHopConfig, TrainingConfig
-from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
-from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.envs.vector import make_vector_env
 from repro.marl.actors import ActorGroup, ClassicalActor
 from repro.marl.frameworks import build_framework
 from repro.marl.parallel import ShardedRolloutCollector
 from repro.marl.rollout import VectorRolloutCollector
 
+from tests.helpers import (
+    OFFLOAD_ENV_KINDS,
+    ROLLOUT_ENGINES,
+    assert_cross_engine_equivalence,
+    assert_episodes_equal,
+    make_classical_team,
+    make_offload_env,
+)
+
 EPISODE_LIMIT = 5
+TRANSPORTS = ("pipe", "shm")
+# Tiny rings so even these toy episodes exercise multi-slot frames, wraps,
+# and the backpressure path rather than fitting the whole collect at once.
+SMALL_RING = {"shm_slot_bytes": 256, "shm_slots": 8}
+
+
+def engine_setup(env_kind, seed=3):
+    """A serial env + tiny classical team, deterministically seeded."""
+    env = make_offload_env(env_kind, seed, episode_limit=EPISODE_LIMIT)
+    return env, make_classical_team(env, seed + 1)
 
 
 def single_hop_setup(seed=3):
-    """A serial SingleHop env + tiny classical team, deterministically seeded."""
-    config = SingleHopConfig(episode_limit=EPISODE_LIMIT)
-    env = SingleHopOffloadEnv(config, rng=np.random.default_rng(seed))
-    weight_rng = np.random.default_rng(seed + 1)
-    actors = ActorGroup(
-        [
-            ClassicalActor(
-                config.observation_size, config.n_actions, (5,), weight_rng
-            )
-            for _ in range(config.n_agents)
-        ]
+    return engine_setup("single_hop", seed)
+
+
+def sharded(env, actors, n_envs, n_workers, transport="pipe", **kwargs):
+    if transport == "shm":
+        kwargs = {**SMALL_RING, **kwargs}
+    return ShardedRolloutCollector(
+        env, actors, n_envs=n_envs, n_workers=n_workers,
+        transport=transport, **kwargs,
     )
-    return env, actors
-
-
-def multi_hop_setup(seed=4):
-    """A serial MultiHop env + classical team sized to its topology."""
-    env = MultiHopOffloadEnv(
-        layered_topology((3, 2, 1)),
-        rng=np.random.default_rng(seed),
-        episode_limit=EPISODE_LIMIT,
-    )
-    weight_rng = np.random.default_rng(seed + 1)
-    actors = ActorGroup(
-        [
-            ClassicalActor(
-                env.observation_size, env.action_space.n, (4,), weight_rng
-            )
-            for _ in range(env.n_agents)
-        ]
-    )
-    return env, actors
-
-
-def assert_episodes_equal(left, right):
-    assert len(left) == len(right)
-    for a, b in zip(left, right):
-        assert np.array_equal(a.states, b.states)
-        assert np.array_equal(a.observations, b.observations)
-        assert np.array_equal(a.actions, b.actions)
-        assert np.array_equal(a.rewards, b.rewards)
-        assert np.array_equal(a.next_states, b.next_states)
-        assert np.array_equal(a.dones, b.dones)
 
 
 def collect_rounds(collector, env, n_episodes, n_rounds, seed=11, greedy=False):
@@ -73,27 +60,68 @@ def collect_rounds(collector, env, n_episodes, n_rounds, seed=11, greedy=False):
     return episodes, stats, rng.bit_generator.state, env.rng.bit_generator.state
 
 
+def assert_segments_released(names):
+    """Every shm segment named must be gone from the system after close."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover — non-Linux
+        return
+    leaked = [name for name in names if os.path.exists(f"/dev/shm/{name}")]
+    assert not leaked, f"orphaned shared-memory segments: {leaked}"
+
+
+class TestCrossEngineEquivalence:
+    """The unified harness: one ``train_epoch`` contract for all engines."""
+
+    @pytest.mark.parametrize("env_kind", OFFLOAD_ENV_KINDS)
+    def test_four_way_chain_at_n1(self, env_kind):
+        """serial == vector == sharded-pipe == sharded-shm at one env copy:
+        bit-identical episodes, metrics, and RNG stream positions."""
+        assert_cross_engine_equivalence(
+            env_kind, ROLLOUT_ENGINES, n_envs=1, n_workers=1
+        )
+
+    @pytest.mark.parametrize("env_kind", OFFLOAD_ENV_KINDS)
+    def test_batched_engines_at_n4(self, env_kind):
+        """vector(4) == sharded-pipe(4, W=2) == sharded-shm(4, W=2)."""
+        assert_cross_engine_equivalence(
+            env_kind,
+            ("vector", "sharded-pipe", "sharded-shm"),
+            n_envs=4,
+            n_workers=2,
+        )
+
+    def test_uneven_shards(self):
+        """Worker counts that split N unevenly keep the chain intact."""
+        assert_cross_engine_equivalence(
+            "single_hop",
+            ("vector", "sharded-pipe", "sharded-shm"),
+            n_envs=4,
+            n_workers=3,
+        )
+
+
 class TestShardedDeterminism:
-    @pytest.mark.parametrize("setup", [single_hop_setup, multi_hop_setup])
+    @pytest.mark.parametrize("env_kind", OFFLOAD_ENV_KINDS)
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("n_workers", [1, 2, 4])
-    def test_bit_identical_to_vector_engine(self, setup, n_workers):
-        """W workers over N=4 == in-process VectorEnv(4), episode for episode."""
-        env_v, actors_v = setup()
+    def test_bit_identical_to_vector_engine(self, env_kind, transport,
+                                            n_workers):
+        """W workers over N=4 == in-process VectorEnv(4), episode for
+        episode, over either transport."""
+        env_v, actors_v = engine_setup(env_kind)
         reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
         expected = collect_rounds(reference, env_v, 4, 2)
 
-        env_s, actors_s = setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=4, n_workers=n_workers
-        ) as sharded:
-            got = collect_rounds(sharded, env_s, 4, 2)
+        env_s, actors_s = engine_setup(env_kind)
+        with sharded(env_s, actors_s, 4, n_workers, transport) as pool:
+            got = collect_rounds(pool, env_s, 4, 2)
 
         assert_episodes_equal(expected[0], got[0])
         assert expected[1] == got[1]  # per-episode Fig. 3 stats
         assert expected[2] == got[2]  # shared action stream position
         assert expected[3] == got[3]  # serial env's row-0 stream position
 
-    def test_bit_identical_to_serial_at_n1(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_bit_identical_to_serial_at_n1(self, transport):
         """Transitivity anchor: one row, one worker == the serial oracle."""
         from repro.marl.trainer import rollout_episode
 
@@ -104,11 +132,9 @@ class TestShardedDeterminism:
         ]
 
         env_s, actors_s = single_hop_setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=1, n_workers=1
-        ) as sharded:
+        with sharded(env_s, actors_s, 1, 1, transport) as pool:
             rng_s = np.random.default_rng(11)
-            episodes, stats = sharded.collect(3, rng_s)
+            episodes, stats = pool.collect(3, rng_s)
         assert_episodes_equal([e for e, _ in expected], episodes)
         assert [s for _, s in expected] == stats
         assert rng_ref.bit_generator.state == rng_s.bit_generator.state
@@ -117,11 +143,9 @@ class TestShardedDeterminism:
         env_v, actors_v = single_hop_setup()
         reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
         env_s, actors_s = single_hop_setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=4, n_workers=2
-        ) as sharded:
+        with sharded(env_s, actors_s, 4, 2) as pool:
             expected = collect_rounds(reference, env_v, 3, 2)
-            got = collect_rounds(sharded, env_s, 3, 2)
+            got = collect_rounds(pool, env_s, 3, 2)
         assert_episodes_equal(expected[0], got[0])
         assert expected[1:] == got[1:]
 
@@ -129,57 +153,113 @@ class TestShardedDeterminism:
         env_v, actors_v = single_hop_setup()
         reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
         env_s, actors_s = single_hop_setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=4, n_workers=2
-        ) as sharded:
+        with sharded(env_s, actors_s, 4, 2) as pool:
             expected = collect_rounds(reference, env_v, 4, 1, greedy=True)
-            got = collect_rounds(sharded, env_s, 4, 1, greedy=True)
+            got = collect_rounds(pool, env_s, 4, 1, greedy=True)
         assert_episodes_equal(expected[0], got[0])
         assert expected[1:] == got[1:]
 
-    def test_weight_updates_reach_workers(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_weight_updates_reach_workers(self, transport):
         """Mutating parent actor weights changes the next sharded collect."""
-        env_s, actors_s = single_hop_setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=2, n_workers=2
-        ) as sharded:
-            first, _ = sharded.collect(2, np.random.default_rng(0))
+        env_s, actors_s = engine_setup("single_hop")
+        with sharded(env_s, actors_s, 2, 2, transport) as pool:
+            first, _ = pool.collect(2, np.random.default_rng(0))
             for p in actors_s.parameters():
                 p.data += np.random.default_rng(1).normal(
                     scale=0.5, size=p.data.shape
                 )
-            second, _ = sharded.collect(2, np.random.default_rng(0))
+            second, _ = pool.collect(2, np.random.default_rng(0))
         same_weights_same_stream = np.array_equal(
             first[0].actions, second[0].actions
         )
         assert not same_weights_same_stream
 
 
+class TestTransportSelection:
+    def test_auto_picks_pipe_for_tiny_blocks(self):
+        env, actors = single_hop_setup()
+        with ShardedRolloutCollector(
+            env, actors, n_envs=2, n_workers=2, transport="auto"
+        ) as pool:
+            # 5-step toy episodes are far below the shm crossover.
+            assert pool.transport == "pipe"
+            assert pool.shm_segment_names() == []
+
+    def test_auto_picks_shm_for_large_blocks(self):
+        from repro.marl.parallel import (
+            AUTO_SHM_MIN_BLOCK_BYTES,
+            estimate_episode_block_bytes,
+        )
+
+        env = make_offload_env("single_hop", 3, episode_limit=200)
+        actors = make_classical_team(env, 4)
+        assert (
+            estimate_episode_block_bytes(env, 200)
+            >= AUTO_SHM_MIN_BLOCK_BYTES
+        )
+        with ShardedRolloutCollector(
+            env, actors, n_envs=2, n_workers=2, transport="auto"
+        ) as pool:
+            assert pool.transport == "shm"
+            assert len(pool.shm_segment_names()) == 2
+
+    def test_unknown_transport_rejected(self):
+        env, actors = single_hop_setup()
+        with pytest.raises(ValueError, match="transport"):
+            ShardedRolloutCollector(
+                env, actors, n_envs=2, n_workers=2, transport="tcp"
+            )
+
+    def test_blocks_larger_than_ring_stream_through(self):
+        """A ring far smaller than one episode block still round-trips
+        bit-exactly via chunk frames (the backpressure path)."""
+        env_v, actors_v = single_hop_setup()
+        reference = VectorRolloutCollector(make_vector_env(env_v, 2), actors_v)
+        env_s, actors_s = single_hop_setup()
+        with sharded(
+            env_s, actors_s, 2, 2, "shm",
+            shm_slot_bytes=64, shm_slots=2,
+        ) as pool:
+            expected = collect_rounds(reference, env_v, 2, 2)
+            got = collect_rounds(pool, env_s, 2, 2)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+
 class TestCrashRecovery:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
     @pytest.mark.parametrize("during_next_collect", [False, True])
-    def test_crash_restart_loses_no_episodes(self, during_next_collect):
-        """A killed worker is restarted and its block replayed bit-exactly."""
+    def test_crash_restart_loses_no_episodes(self, transport,
+                                             during_next_collect):
+        """A killed worker is restarted and its block replayed bit-exactly —
+        no episode lost or duplicated — and (for shm) its segments are
+        reclaimed by the replacement, then released on close."""
         env_v, actors_v = single_hop_setup()
         reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
         env_s, actors_s = single_hop_setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=4, n_workers=2
-        ) as sharded:
+        with sharded(env_s, actors_s, 4, 2, transport) as pool:
+            segment_names = pool.shm_segment_names()
             rng_v = np.random.default_rng(11)
             rng_s = np.random.default_rng(11)
             expected_1 = reference.collect(4, rng_v)
-            got_1 = sharded.collect(4, rng_s)
-            sharded.debug_crash_worker(
+            got_1 = pool.collect(4, rng_s)
+            pool.debug_crash_worker(
                 0, during_next_collect=during_next_collect
             )
             expected_2 = reference.collect(4, rng_v)
-            got_2 = sharded.collect(4, rng_s)
-            assert sharded.total_restarts == 1
+            got_2 = pool.collect(4, rng_s)
+            assert pool.total_restarts == 1
+            # The restarted worker reuses its predecessor's segments; no new
+            # allocation, nothing orphaned by the dead process.
+            assert pool.shm_segment_names() == segment_names
         assert_episodes_equal(expected_1[0] + expected_2[0], got_1[0] + got_2[0])
         assert expected_1[1] + expected_2[1] == got_1[1] + got_2[1]
         assert rng_v.bit_generator.state == rng_s.bit_generator.state
+        assert_segments_released(segment_names)
 
-    def test_worker_task_error_poisons_pool(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_worker_task_error_poisons_pool(self, transport):
         """A deterministic in-worker error propagates and closes the pool:
         replaying it cannot help, and leaving the pool open could pair the
         next command with a stale queued reply."""
@@ -188,58 +268,65 @@ class TestCrashRecovery:
 
         env, _ = single_hop_setup()
         group = ActorGroup([RandomActor(4) for _ in range(4)])
-        sharded = ShardedRolloutCollector(env, group, n_envs=2, n_workers=2)
-        processes = [w.process for w in sharded._workers]
+        pool = sharded(env, group, 2, 2, transport)
+        segment_names = pool.shm_segment_names()
+        processes = [w.process for w in pool._workers]
         with pytest.raises(WorkerTaskError, match="greedy"):
             # RandomActor has no greedy mode; the worker raises inside
             # act_batch, exactly as the in-process engine would in-line.
-            sharded.collect(2, np.random.default_rng(0), greedy=True)
-        assert sharded._closed
+            pool.collect(2, np.random.default_rng(0), greedy=True)
+        assert pool._closed
         assert all(p is None or not p.is_alive() for p in processes)
         with pytest.raises(RuntimeError, match="closed"):
-            sharded.collect(2, np.random.default_rng(0))
+            pool.collect(2, np.random.default_rng(0))
+        assert_segments_released(segment_names)
 
-    def test_crash_before_first_collect(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_crash_before_first_collect(self, transport):
         env_v, actors_v = single_hop_setup()
         reference = VectorRolloutCollector(make_vector_env(env_v, 2), actors_v)
         env_s, actors_s = single_hop_setup()
-        with ShardedRolloutCollector(
-            env_s, actors_s, n_envs=2, n_workers=2
-        ) as sharded:
-            sharded.debug_crash_worker(1)
+        with sharded(env_s, actors_s, 2, 2, transport) as pool:
+            pool.debug_crash_worker(1)
             expected = reference.collect(2, np.random.default_rng(5))
-            got = sharded.collect(2, np.random.default_rng(5))
-            assert sharded.total_restarts == 1
+            got = pool.collect(2, np.random.default_rng(5))
+            assert pool.total_restarts == 1
         assert_episodes_equal(expected[0], got[0])
         assert expected[1] == got[1]
 
 
 class TestLifecycle:
-    def test_close_leaves_no_processes(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_close_leaves_no_processes_or_segments(self, transport):
         env, actors = single_hop_setup()
-        sharded = ShardedRolloutCollector(env, actors, n_envs=2, n_workers=2)
-        processes = [w.process for w in sharded._workers]
+        pool = sharded(env, actors, 2, 2, transport)
+        segment_names = pool.shm_segment_names()
+        if transport == "shm":
+            assert len(segment_names) == 2
+            if os.path.isdir("/dev/shm"):
+                assert all(
+                    os.path.exists(f"/dev/shm/{name}")
+                    for name in segment_names
+                )
+        processes = [w.process for w in pool._workers]
         assert all(p.is_alive() for p in processes)
-        sharded.close()
+        pool.close()
         assert all(p is None or not p.is_alive() for p in processes)
-        assert all(w.process is None for w in sharded._workers)
-        sharded.close()  # idempotent
+        assert all(w.process is None for w in pool._workers)
+        assert_segments_released(segment_names)
+        pool.close()  # idempotent
         with pytest.raises(RuntimeError):
-            sharded.collect(1, np.random.default_rng(0))
+            pool.collect(1, np.random.default_rng(0))
 
     def test_ping(self):
         env, actors = single_hop_setup()
-        with ShardedRolloutCollector(
-            env, actors, n_envs=3, n_workers=2
-        ) as sharded:
-            assert sharded.ping() == 2
+        with sharded(env, actors, 3, 2) as pool:
+            assert pool.ping() == 2
 
     def test_workers_clamped_to_envs(self):
         env, actors = single_hop_setup()
-        with ShardedRolloutCollector(
-            env, actors, n_envs=2, n_workers=8
-        ) as sharded:
-            assert sharded.n_workers == 2
+        with sharded(env, actors, 2, 8) as pool:
+            assert pool.n_workers == 2
 
     def test_invalid_arguments(self):
         env, actors = single_hop_setup()
@@ -276,24 +363,37 @@ class TestTrainerIntegration:
             env, actors, critic, target, config, np.random.default_rng(seed)
         )
 
-    def test_sharded_train_epoch_bit_identical_to_vector(self):
+    def test_auto_mode_engages_sharded_engine(self):
+        """rollout_mode='auto' with workers > 1 dispatches to the worker
+        pool (and stays bit-identical to the vector engine)."""
         vector = self.trainer_setup(rollout_mode="vector")
-        sharded = self.trainer_setup(rollout_mode="auto", rollout_workers=2)
-        assert sharded.sharded_rollouts and not vector.sharded_rollouts
+        auto = self.trainer_setup(rollout_mode="auto", rollout_workers=2)
+        assert auto.sharded_rollouts and not vector.sharded_rollouts
         try:
-            for _ in range(3):
-                assert vector.train_epoch() == sharded.train_epoch()
+            assert vector.train_epoch() == auto.train_epoch()
         finally:
-            sharded.close()
+            auto.close()
 
     def test_forced_sharded_mode_single_worker(self):
         vector = self.trainer_setup(rollout_mode="vector")
-        sharded = self.trainer_setup(rollout_mode="sharded", rollout_workers=1)
-        assert sharded.sharded_rollouts
+        sharded_trainer = self.trainer_setup(
+            rollout_mode="sharded", rollout_workers=1
+        )
+        assert sharded_trainer.sharded_rollouts
         try:
-            assert vector.train_epoch() == sharded.train_epoch()
+            assert vector.train_epoch() == sharded_trainer.train_epoch()
         finally:
-            sharded.close()
+            sharded_trainer.close()
+
+    def test_trainer_respects_transport_config(self):
+        trainer = self.trainer_setup(
+            rollout_mode="sharded", rollout_workers=2, rollout_transport="shm"
+        )
+        try:
+            trainer.train_epoch()
+            assert trainer._sharded_collector.transport == "shm"
+        finally:
+            trainer.close()
 
     def test_workers_clamped_to_rollout_envs(self):
         trainer = self.trainer_setup(
@@ -318,10 +418,11 @@ class TestTrainerIntegration:
         assert trainer._sharded_collector is not pool
         trainer.close()
 
-    def test_quantum_framework_sharded_matches_vector(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_quantum_framework_sharded_matches_vector(self, transport):
         env_config = SingleHopConfig(episode_limit=4)
 
-        def run(mode, workers):
+        def run(mode, workers, rollout_transport):
             train = TrainingConfig(
                 episodes_per_epoch=2,
                 actor_lr=1e-3,
@@ -329,6 +430,7 @@ class TestTrainerIntegration:
                 rollout_envs=2,
                 rollout_workers=workers,
                 rollout_mode=mode,
+                rollout_transport=rollout_transport,
             )
             framework = build_framework(
                 "proposed", seed=7, env_config=env_config, train_config=train
@@ -338,4 +440,4 @@ class TestTrainerIntegration:
                 evaluation = framework.evaluate(n_episodes=2)
             return records, evaluation
 
-        assert run("vector", 1) == run("sharded", 2)
+        assert run("vector", 1, "auto") == run("sharded", 2, transport)

@@ -171,27 +171,28 @@ class TestTrainerMechanics:
 
 
 class TestVectorizedCollection:
-    """Determinism regressions for the vectorized rollout engine."""
+    """Determinism regressions for the vectorized rollout engine.
+
+    The serial-vs-batched comparison loops live in the cross-engine
+    equivalence harness (``tests.helpers``), shared with the sharded
+    engine's suite — one pinned contract, four engines.
+    """
 
     @pytest.mark.parametrize("initial_queue_level", [0.5, "uniform"])
     def test_vector_n1_bit_identical_to_serial(self, initial_queue_level):
-        """Same seed => bit-identical train_epoch metrics, serial vs N=1."""
-        serial = tiny_setup(
-            seed=3, initial_queue_level=initial_queue_level,
-            rollout_mode="serial",
+        """Same seed => bit-identical episodes/metrics/streams, serial vs
+        N=1, through the shared harness."""
+        from tests.helpers import assert_cross_engine_equivalence
+
+        assert_cross_engine_equivalence(
+            "single_hop",
+            ("serial", "vector"),
+            n_envs=1,
+            n_workers=1,
+            n_epochs=3,
+            episode_limit=6,
+            env_kwargs={"initial_queue_level": initial_queue_level},
         )
-        vector = tiny_setup(
-            seed=3, initial_queue_level=initial_queue_level,
-            rollout_mode="vector", rollout_envs=1,
-        )
-        assert not serial.vectorized_rollouts
-        assert vector.vectorized_rollouts
-        for _ in range(3):
-            record_s = serial.train_epoch()
-            record_v = vector.train_epoch()
-            assert record_s.keys() == record_v.keys()
-            for key in record_s:
-                assert record_s[key] == record_v[key], key
 
     def test_vector_n1_bit_identical_quantum(self):
         """The quantum framework's batched inference path is also exact."""
