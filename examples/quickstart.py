@@ -52,7 +52,18 @@ def main():
     parser.add_argument("--rollout-workers", type=int, default=1)
     parser.add_argument("--rollout-transport", default="auto",
                         choices=("auto", "pipe", "shm"))
+    #   - trainer picks the training engine: "mapg" is the paper's
+    #     gradient-based CTDE actor-critic; "es" is the gradient-free
+    #     evolutionary-strategies engine (docs/evolutionary_training.md) —
+    #     a population of perturbed actor teams evaluated through one
+    #     stacked circuit call per env step, no critic, no backprop.
+    parser.add_argument("--trainer", default="mapg", choices=("mapg", "es"))
+    parser.add_argument("--es-population", type=int, default=None,
+                        help="ES population size (only with --trainer es; "
+                             "default 8)")
     args = parser.parse_args()
+    if args.es_population is not None and args.trainer != "es":
+        parser.error("--es-population only affects --trainer es")
 
     # -- 1. the VQC of Fig. 1 ------------------------------------------------
     print("=" * 72)
@@ -94,12 +105,25 @@ def main():
           f"w_R={env_config.w_r}")
 
     # -- 4. train the proposed QMARL framework --------------------------------
-    framework = build_framework(
-        "proposed",
-        seed=args.seed,
-        env_config=env_config,
-        vqc_config=VQCConfig(critic_value_scale=10.0),
-        train_config=TrainingConfig(
+    if args.trainer == "es":
+        # Gradient-free engine: every generation evaluates a population of
+        # perturbed actor teams through a single stacked circuit call per
+        # env step (population members ride the per-sample-weight axis).
+        train_config = TrainingConfig(
+            trainer="es",
+            n_epochs=args.epochs,
+            episodes_per_epoch=2,
+            es_population=(
+                args.es_population if args.es_population is not None else 8
+            ),
+            es_sigma=0.15,
+            es_lr=0.12,
+            rollout_envs=args.rollout_envs,
+            rollout_workers=args.rollout_workers,
+            rollout_transport=args.rollout_transport,
+        )
+    else:
+        train_config = TrainingConfig(
             n_epochs=args.epochs,
             episodes_per_epoch=4,
             gamma=0.95,
@@ -113,13 +137,25 @@ def main():
             rollout_envs=args.rollout_envs,
             rollout_workers=args.rollout_workers,
             rollout_transport=args.rollout_transport,
-        ),
+        )
+    framework = build_framework(
+        "proposed",
+        seed=args.seed,
+        env_config=env_config,
+        vqc_config=VQCConfig(critic_value_scale=10.0),
+        train_config=train_config,
     )
     print()
     print("=" * 72)
-    print(f"4. Training the proposed framework ({args.epochs} epochs, "
-          f"{framework.trainer.rollout_envs} lockstep rollout envs, "
-          f"{framework.trainer.rollout_workers} worker process(es))")
+    if args.trainer == "es":
+        print(f"4. Training the proposed framework with ES ({args.epochs} "
+              f"generations, population {framework.trainer.population}, "
+              f"{framework.trainer.n_envs} lockstep rollout envs, "
+              f"{framework.trainer.rollout_workers} worker process(es))")
+    else:
+        print(f"4. Training the proposed framework ({args.epochs} epochs, "
+              f"{framework.trainer.rollout_envs} lockstep rollout envs, "
+              f"{framework.trainer.rollout_workers} worker process(es))")
     print("=" * 72)
     print(f"parameter budget: actor {framework.metadata['actor_parameters']} "
           f"x {env_config.n_agents} agents, "
@@ -127,9 +163,12 @@ def main():
 
     def progress(record):
         if record["epoch"] % max(1, args.epochs // 10) == 0:
+            if "critic_loss" in record:
+                extra = f"critic loss {record['critic_loss']:>8.3f}"
+            else:
+                extra = f"best member {record['fitness_max']:>8.2f}"
             print(f"  epoch {record['epoch']:>4}  "
-                  f"reward {record['total_reward']:>8.2f}  "
-                  f"critic loss {record['critic_loss']:>8.3f}")
+                  f"reward {record['total_reward']:>8.2f}  {extra}")
 
     history = framework.train(callback=progress)
     rewards = history.series("total_reward")

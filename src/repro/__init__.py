@@ -33,6 +33,7 @@ from repro.config import (
 from repro.envs import SingleHopOffloadEnv
 from repro.marl import (
     CTDETrainer,
+    ESTrainer,
     Framework,
     achievability,
     build_framework,
@@ -58,6 +59,7 @@ __all__ = [
     "ClassicalNetConfig",
     "SingleHopOffloadEnv",
     "CTDETrainer",
+    "ESTrainer",
     "Framework",
     "build_framework",
     "evaluate_random_walk",

@@ -190,6 +190,27 @@ class TrainingConfig:
             purely a throughput knob.  Only meaningful for sharded
             collection: setting it explicitly alongside settings that can
             never shard is rejected at construction.
+        trainer: ``"mapg"`` — the paper's gradient-based CTDE actor-critic
+            (:class:`~repro.marl.trainer.CTDETrainer`) — or ``"es"`` — the
+            gradient-free evolutionary-strategies engine
+            (:class:`~repro.marl.evolution.ESTrainer`), which trains the
+            actor team by population search and uses no critic at all.
+            Under ES, ``episodes_per_epoch`` means episodes *per population
+            member* per generation and ``rollout_envs`` means lockstep env
+            copies per member.
+        es_population: ES population size ``P`` (candidate teams evaluated
+            per generation; antithetic pairs, so even values waste
+            nothing).  Only valid with ``trainer="es"``; ``None`` resolves
+            to 8.
+        es_sigma: Gaussian perturbation scale applied to the flat team
+            weight vector.  Must be positive, except that ``0.0`` is
+            allowed together with ``es_population=1`` — the documented
+            evaluation-only mode that reproduces plain unperturbed
+            collection bit-for-bit.  ``None`` resolves to 0.1.
+        es_lr: ES learning rate (step size on the rank-shaped gradient
+            estimate).  ``None`` resolves to 0.05.
+        es_weight_decay: Weight decay applied inside the ES update
+            (OpenAI-ES style).  ``None`` resolves to 0.0.
     """
 
     n_epochs: int = 1000
@@ -205,9 +226,25 @@ class TrainingConfig:
     rollout_workers: int = 1
     rollout_mode: str = "auto"
     rollout_transport: str = "auto"
+    trainer: str = "mapg"
+    es_population: int = None
+    es_sigma: float = None
+    es_lr: float = None
+    es_weight_decay: float = None
 
     _ROLLOUT_MODES = ("auto", "serial", "vector", "sharded")
     _ROLLOUT_TRANSPORTS = ("auto", "pipe", "shm")
+    _TRAINERS = ("mapg", "es")
+
+    # Documented defaults the None-valued es_* knobs resolve to under
+    # trainer="es" (kept as sentinels so trainer="mapg" can reject any
+    # explicitly set — and therefore inert — ES knob).
+    _ES_DEFAULTS = {
+        "es_population": 8,
+        "es_sigma": 0.1,
+        "es_lr": 0.05,
+        "es_weight_decay": 0.0,
+    }
 
     def __post_init__(self):
         if self.n_epochs < 1 or self.episodes_per_epoch < 1:
@@ -241,6 +278,68 @@ class TrainingConfig:
                 f"rollout_transport must be one of "
                 f"{self._ROLLOUT_TRANSPORTS}, got {self.rollout_transport!r}"
             )
+        if self.trainer not in self._TRAINERS:
+            raise ValueError(
+                f"trainer must be one of {self._TRAINERS}, "
+                f"got {self.trainer!r}"
+            )
+        if self.trainer == "mapg":
+            # Any explicitly set ES knob is inert under the gradient
+            # trainer; silently ignoring it would hide a misconfiguration
+            # (same policy as rollout_transport below).
+            for knob in self._ES_DEFAULTS:
+                if getattr(self, knob) is not None:
+                    raise ValueError(
+                        f"{knob}={getattr(self, knob)!r} only affects the "
+                        f"evolutionary-strategies engine, but trainer="
+                        f"'mapg' never reads it; set trainer='es' or leave "
+                        f"{knob}=None"
+                    )
+        else:  # trainer == "es"
+            if self.entropy_coef != 0.0:
+                raise ValueError(
+                    f"entropy_coef={self.entropy_coef!r} is a MAPG-only "
+                    f"knob (the ES update has no policy-gradient loss to "
+                    f"add an entropy bonus to); leave it at 0.0 with "
+                    f"trainer='es'"
+                )
+            population = self.effective_es_population
+            if (
+                not isinstance(population, (int, np.integer))
+                or isinstance(population, bool)
+                or population < 1
+            ):
+                raise ValueError(
+                    f"es_population must be a positive integer, "
+                    f"got {self.es_population!r}"
+                )
+            sigma = self.effective_es_sigma
+            if sigma < 0 or (sigma == 0 and population != 1):
+                raise ValueError(
+                    f"es_sigma must be positive (es_sigma=0 is only valid "
+                    f"with es_population=1, the unperturbed evaluation "
+                    f"mode), got es_sigma={self.es_sigma!r} with "
+                    f"es_population={population}"
+                )
+            if population == 1 and sigma != 0:
+                # The mirror inert combination: a lone member gives rank
+                # shaping nothing to compare, so no update ever happens —
+                # yet every generation would evaluate a *perturbed* policy.
+                raise ValueError(
+                    f"es_population=1 with es_sigma={sigma!r} trains "
+                    f"nothing (a single member cannot be rank-shaped); "
+                    f"use es_population>=2 to search, or es_sigma=0.0 for "
+                    f"the unperturbed evaluation mode"
+                )
+            if self.effective_es_lr <= 0:
+                raise ValueError(
+                    f"es_lr must be positive, got {self.es_lr!r}"
+                )
+            if self.effective_es_weight_decay < 0:
+                raise ValueError(
+                    f"es_weight_decay must be non-negative, "
+                    f"got {self.es_weight_decay!r}"
+                )
         if self.rollout_transport != "auto":
             # A transport choice is inert unless the sharded engine can run;
             # silently ignoring the knob would hide a misconfiguration.  The
@@ -282,10 +381,53 @@ class TrainingConfig:
     def effective_rollout_workers(self):
         """Effective worker process count for sharded collection.
 
-        Clamped to the effective env copy count — a worker without at least
-        one env row would idle while still costing a process.
+        Clamped to the total lockstep row count — a worker without at least
+        one env row would idle while still costing a process.  Under the
+        gradient trainer that is the effective env copy count; under ES the
+        population multiplies it (each member owns its own rows, so a
+        population of P over k copies per member gives ``k * P`` shardable
+        rows).
         """
-        return min(self.rollout_workers, self.effective_rollout_envs)
+        return min(self.rollout_workers, self.total_rollout_rows)
+
+    @property
+    def total_rollout_rows(self):
+        """Total lockstep env rows epoch collection steps at once.
+
+        ``effective_rollout_envs`` for the gradient trainer;
+        ``effective_rollout_envs * es_population`` for ES, where every
+        population member owns ``effective_rollout_envs`` rows.
+        """
+        if self.trainer == "es":
+            return self.effective_rollout_envs * self.effective_es_population
+        return self.effective_rollout_envs
+
+    # -- ES knob resolution ---------------------------------------------------
+
+    def _effective_es(self, knob):
+        """A None-defaulted ES knob with its documented default applied."""
+        value = getattr(self, knob)
+        return self._ES_DEFAULTS[knob] if value is None else value
+
+    @property
+    def effective_es_population(self):
+        """ES population size with the documented default applied."""
+        return self._effective_es("es_population")
+
+    @property
+    def effective_es_sigma(self):
+        """ES perturbation scale with the documented default applied."""
+        return self._effective_es("es_sigma")
+
+    @property
+    def effective_es_lr(self):
+        """ES learning rate with the documented default applied."""
+        return self._effective_es("es_lr")
+
+    @property
+    def effective_es_weight_decay(self):
+        """ES weight decay with the documented default applied."""
+        return self._effective_es("es_weight_decay")
 
 
 # Classical baseline shapes used by the paper's comparison (Section IV-C).

@@ -8,6 +8,7 @@ experiments through one front door.
 from __future__ import annotations
 
 from repro.experiments import ablations
+from repro.experiments.evolution import run_es_training
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.section4d import run_section4d
@@ -52,6 +53,12 @@ EXPERIMENTS = {
             "Achievability and metric-ordering comparison vs the paper",
             run_section4d,
             "Section IV-D",
+        ),
+        ExperimentSpec(
+            "es-train",
+            "Gradient-free ES training of a framework (optionally vs MAPG)",
+            run_es_training,
+            "Extension: Kölle et al. 2023/2024 ES for quantum MARL",
         ),
         ExperimentSpec(
             "ablation-encoding",

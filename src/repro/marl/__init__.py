@@ -16,6 +16,11 @@ from repro.marl.frameworks import (
     build_framework,
     evaluate_random_walk,
 )
+from repro.marl.evolution import (
+    ESTrainer,
+    PopulationActorGroup,
+    PopulationRolloutCollector,
+)
 from repro.marl.parallel import ShardedRolloutCollector
 from repro.marl.metrics import (
     MetricsHistory,
@@ -48,6 +53,9 @@ __all__ = [
     "exponential_moving_average",
     "rolling_mean",
     "CTDETrainer",
+    "ESTrainer",
     "rollout_episode",
     "ShardedRolloutCollector",
+    "PopulationActorGroup",
+    "PopulationRolloutCollector",
 ]

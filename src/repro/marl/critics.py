@@ -20,9 +20,16 @@ import numpy as np
 
 from repro.nn.layers import Linear, Module, mlp
 from repro.nn.quantum_layer import QuantumLayer
-from repro.nn.tensor import as_tensor
+from repro.nn.tensor import Tensor, as_tensor
+from repro.quantum.backends import StatevectorBackend
+from repro.quantum.gradients import backward as _qbackward
 
-__all__ = ["QuantumCentralCritic", "ClassicalCentralCritic"]
+__all__ = [
+    "QuantumCentralCritic",
+    "ClassicalCentralCritic",
+    "critic_pair_stackable",
+    "paired_critic_values",
+]
 
 
 class QuantumCentralCritic(Module):
@@ -94,3 +101,103 @@ class ClassicalCentralCritic(Module):
         if states.ndim == 1:
             states = states[None, :]
         return self.forward(states).data
+
+
+# -- batched online + target evaluation ----------------------------------------
+
+def critic_pair_stackable(critic, target):
+    """Whether one stacked circuit call can serve both critics' forwards.
+
+    True only for a pair of exact, adjoint-differentiated
+    :class:`QuantumCentralCritic` instances with the fixed value head and
+    structurally identical circuits/observables (the framework presets
+    build online and target from the same ansatz seed, so this holds for
+    every quantum arm; it is checked — never assumed).
+    """
+    if not (
+        isinstance(critic, QuantumCentralCritic)
+        and isinstance(target, QuantumCentralCritic)
+    ):
+        return False
+    if critic.head is not None or target.head is not None:
+        return False
+    for half in (critic, target):
+        layer = half.layer
+        if (
+            not isinstance(layer.backend, StatevectorBackend)
+            or layer.backend.shots is not None
+            or layer.gradient_method != "adjoint"
+        ):
+            return False
+    a, b = critic.layer.vqc, target.layer.vqc
+    if a.circuit is not b.circuit and (
+        a.circuit.n_qubits != b.circuit.n_qubits
+        or a.circuit.operations != b.circuit.operations
+    ):
+        return False
+    try:
+        same_observables = list(a.observables) == list(b.observables)
+    except TypeError:  # pragma: no cover — exotic observables
+        same_observables = a.observables is b.observables
+    return bool(same_observables)
+
+
+def paired_critic_values(critic, target, states, next_states):
+    """``(values, next_values)`` for the TD update, sharing one forward.
+
+    ``values`` is the online critic's differentiable ``(B,)`` tensor over
+    ``states``; ``next_values`` the frozen target critic's numpy ``(B,)``
+    over ``next_states``.  On a stackable quantum pair
+    (:func:`critic_pair_stackable`) both forwards run as **one** batched
+    circuit evaluation: the ``2B`` states interleave row-wise and the two
+    weight vectors ride the per-sample weight axis, halving the update's
+    forward circuit evaluations.  The backward pass is unchanged — one
+    adjoint sweep over the online half only (the target is frozen).  Any
+    other pair falls back to the plain two-pass path, bit-identically to
+    the pre-batched trainer.
+    """
+    if not critic_pair_stackable(critic, target):
+        return critic(states), target.values(next_states)
+
+    states = np.asarray(states, dtype=np.float64)
+    next_states = np.asarray(next_states, dtype=np.float64)
+    if states.shape != next_states.shape:
+        raise ValueError(
+            f"states {states.shape} and next_states {next_states.shape} "
+            f"must match"
+        )
+    batch = states.shape[0]
+    vqc = critic.layer.vqc
+    circuit, observables = vqc.circuit, vqc.observables
+    backend = critic.layer.backend
+    online_weights = critic.layer.weights
+
+    stacked = np.empty((2 * batch, states.shape[1]))
+    stacked[0::2] = states
+    stacked[1::2] = next_states
+    weight_rows = np.tile(
+        np.stack([online_weights.data, target.layer.weights.data]),
+        (batch, 1),
+    )
+    outputs = backend.run(circuit, observables, stacked, weight_rows)
+    online_out, target_out = outputs[0::2], outputs[1::2]
+    next_values = target_out.mean(axis=1) * target.value_scale
+
+    n_outputs = online_out.shape[1]
+    scale = critic.value_scale
+
+    def backward_fn(grad):
+        upstream = np.broadcast_to(
+            np.asarray(grad, dtype=np.float64)[:, None] * (scale / n_outputs),
+            online_out.shape,
+        )
+        _, weight_grads = _qbackward(
+            circuit, observables, states, online_weights.data, upstream,
+            method="adjoint",
+        )
+        online_weights._accumulate(weight_grads)
+
+    values = Tensor._from_op(
+        online_out.mean(axis=1) * scale, (online_weights,), backward_fn
+    )
+    return values, next_values

@@ -1,0 +1,29 @@
+"""Gradient-free training: evolutionary strategies over actor teams.
+
+The second training engine next to the gradient-based CTDE loop — see
+:mod:`repro.marl.evolution.trainer` for the generation loop,
+:mod:`repro.marl.evolution.es` for the math, and
+:mod:`repro.marl.evolution.population` for how a population of candidate
+teams multiplexes onto the lockstep env rows and the per-sample-weight
+circuit axis.
+"""
+
+from repro.marl.evolution.collector import PopulationRolloutCollector
+from repro.marl.evolution.es import ESOptimizer, centered_ranks, perturb_population
+from repro.marl.evolution.population import (
+    PopulationActorGroup,
+    flat_team_vector,
+    load_team_vector,
+)
+from repro.marl.evolution.trainer import ESTrainer
+
+__all__ = [
+    "ESTrainer",
+    "ESOptimizer",
+    "PopulationActorGroup",
+    "PopulationRolloutCollector",
+    "centered_ranks",
+    "perturb_population",
+    "flat_team_vector",
+    "load_team_vector",
+]

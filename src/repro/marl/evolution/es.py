@@ -1,0 +1,196 @@
+"""OpenAI-style evolutionary strategies over a flat parameter vector.
+
+The math of the gradient-free training engine, kept free of any rollout or
+actor machinery so it can be unit-tested against closed forms and replayed
+identically on both sides of the process boundary:
+
+- **Antithetic Gaussian perturbations.**  A population of ``P`` candidate
+  vectors is ``theta + sigma * eps`` where members ``2i`` and ``2i + 1``
+  share one noise draw with opposite signs (``+eps_i`` / ``-eps_i``) —
+  the variance-reduction trick of Salimans et al. 2017, also used by the
+  quantum-MARL ES line (Kölle et al. 2023/2024).  An odd population keeps
+  its last member unpaired (positive sign).
+- **Seed-deterministic noise reconstruction.**  Noise is never shipped
+  anywhere: each antithetic pair is identified by one integer seed, and
+  :func:`pair_noise` regenerates the draw from it.  The parent broadcasts
+  only ``(base vector, sigma, seeds)`` to rollout workers — a few hundred
+  bytes — and every process reconstructs the exact same population.
+- **Centered-rank fitness shaping.**  Raw returns are replaced by their
+  ranks mapped onto ``[-0.5, 0.5]``, making the update invariant to reward
+  scale and robust to outliers.
+- **The update.**  ``theta += lr * (g - weight_decay * theta)`` with
+  ``g = (1 / (P * sigma)) * sum_j u_j * eps_j`` over the signed
+  per-member noise — plain SGD on the rank-shaped gradient estimate.
+
+Everything here is pure numpy on ``(P, D)`` arrays; the mapping of members
+onto env rows and circuit evaluations lives in
+:mod:`repro.marl.evolution.population`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "n_pairs",
+    "draw_generation_seeds",
+    "pair_noise",
+    "population_noise",
+    "perturb_population",
+    "centered_ranks",
+    "es_gradient",
+    "ESOptimizer",
+]
+
+# Seeds are drawn from the trainer's action stream as bounded integers so
+# they cross process boundaries as plain python ints.
+SEED_BOUND = 2**31 - 1
+
+
+def n_pairs(population):
+    """Number of noise draws (= antithetic pairs, ceil) for a population."""
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    return (int(population) + 1) // 2
+
+
+def draw_generation_seeds(rng, population):
+    """One integer seed per antithetic pair, drawn from ``rng``.
+
+    Drawn parent-side once per generation (before collection), so every
+    engine — in-process or sharded — sees the identical seed tuple and the
+    action-sampling stream advances the same way everywhere.
+    """
+    return tuple(
+        int(s) for s in rng.integers(0, SEED_BOUND, size=n_pairs(population))
+    )
+
+
+def pair_noise(seed, dim):
+    """The standard-normal draw of one antithetic pair, regenerated from its
+    seed (identical on every process, by construction)."""
+    return np.random.default_rng(int(seed)).standard_normal(int(dim))
+
+
+def population_noise(seeds, population, dim):
+    """Signed per-member noise ``(P, D)``: member ``2i`` gets ``+eps_i``,
+    member ``2i + 1`` gets ``-eps_i``."""
+    population = int(population)
+    if len(seeds) != n_pairs(population):
+        raise ValueError(
+            f"population {population} needs {n_pairs(population)} pair "
+            f"seeds, got {len(seeds)}"
+        )
+    noise = np.empty((population, int(dim)))
+    for pair, seed in enumerate(seeds):
+        eps = pair_noise(seed, dim)
+        member = 2 * pair
+        noise[member] = eps
+        if member + 1 < population:
+            noise[member + 1] = -eps
+    return noise
+
+
+def perturb_population(base, seeds, sigma, population):
+    """Candidate vectors ``(P, D) = base + sigma * signed_noise``.
+
+    With ``sigma == 0`` (the evaluation-only mode) no noise is generated at
+    all — the population is ``P`` exact copies of ``base``, so
+    ``population=1, sigma=0`` reproduces plain unperturbed evaluation
+    bit-for-bit.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    population = int(population)
+    if sigma == 0.0:
+        return np.tile(base, (population, 1))
+    noise = population_noise(seeds, population, base.size)
+    return base[None, :] + float(sigma) * noise
+
+
+def centered_ranks(values):
+    """Rank-shaped fitness in ``[-0.5, 0.5]`` (ascending: best gets 0.5).
+
+    Ties are broken by position (numpy argsort stability), matching the
+    reference OpenAI-ES implementation.  A single-member population shapes
+    to ``[0.0]`` — no preference, hence no update.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("fitness must be a flat vector")
+    population = values.size
+    if population == 1:
+        return np.zeros(1)
+    ranks = np.empty(population)
+    ranks[np.argsort(values, kind="stable")] = np.arange(population)
+    return ranks / (population - 1) - 0.5
+
+
+def es_gradient(shaped, seeds, sigma, population, dim):
+    """The rank-shaped gradient estimate ``(D,)``.
+
+    ``g = (1 / (P * sigma)) * sum_j shaped_j * noise_j`` with the signed
+    antithetic noise reconstructed from ``seeds`` — ascent direction on the
+    shaped fitness.
+    """
+    if sigma <= 0:
+        raise ValueError("es_gradient needs sigma > 0")
+    noise = population_noise(seeds, population, dim)
+    shaped = np.asarray(shaped, dtype=np.float64)
+    return noise.T @ shaped / (int(population) * float(sigma))
+
+
+class ESOptimizer:
+    """SGD on the rank-shaped ES gradient, with weight decay.
+
+    Args:
+        lr: Step size on the gradient estimate.
+        sigma: Perturbation scale (must match the scale the population was
+            sampled with).
+        weight_decay: Decay coefficient applied inside the update
+            (``theta += lr * (g - weight_decay * theta)``).
+
+    Stateless across steps (plain SGD); kept as a class so a later
+    momentum/Adam variant slots in without touching the trainer.
+    """
+
+    def __init__(self, lr, sigma, weight_decay=0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = float(lr)
+        self.sigma = float(sigma)
+        self.weight_decay = float(weight_decay)
+        self.generation = 0
+
+    def step(self, base, fitness, seeds):
+        """One generation's update; returns ``(new_base, info)``.
+
+        ``info`` carries the shaped fitness and gradient norm for metrics.
+        A degenerate generation — single member, or ``sigma == 0`` — is a
+        pure evaluation: the base is returned unchanged (bit-identical, no
+        decay either, so evaluation mode never drifts the weights).
+        """
+        base = np.asarray(base, dtype=np.float64)
+        fitness = np.asarray(fitness, dtype=np.float64)
+        population = fitness.size
+        self.generation += 1
+        if population == 1 or self.sigma == 0.0:
+            return base, {"grad_norm": 0.0, "shaped": np.zeros(population)}
+        shaped = centered_ranks(fitness)
+        gradient = es_gradient(
+            shaped, seeds, self.sigma, population, base.size
+        )
+        new_base = base + self.lr * (gradient - self.weight_decay * base)
+        return new_base, {
+            "grad_norm": float(np.linalg.norm(gradient)),
+            "shaped": shaped,
+        }
+
+    def __repr__(self):
+        return (
+            f"ESOptimizer(lr={self.lr}, sigma={self.sigma}, "
+            f"weight_decay={self.weight_decay}, generation={self.generation})"
+        )

@@ -38,6 +38,7 @@ from repro.marl.actors import (
     RandomActor,
 )
 from repro.marl.critics import ClassicalCentralCritic, QuantumCentralCritic
+from repro.marl.evolution import ESTrainer
 from repro.marl.metrics import achievability
 from repro.marl.trainer import CTDETrainer, rollout_episode
 from repro.quantum.backends import DensityMatrixBackend, StatevectorBackend
@@ -219,6 +220,11 @@ def build_framework(
     rollout_envs=None,
     rollout_workers=None,
     rollout_transport=None,
+    trainer=None,
+    es_population=None,
+    es_sigma=None,
+    es_lr=None,
+    es_weight_decay=None,
 ):
     """Construct one experimental arm, fully wired and reproducibly seeded.
 
@@ -246,6 +252,12 @@ def build_framework(
         rollout_transport: Convenience override of
             ``train_config.rollout_transport`` — how sharded workers ship
             transition blocks back (``"pipe"``, ``"shm"``, or ``"auto"``).
+        trainer: Convenience override of ``train_config.trainer`` —
+            ``"mapg"`` (the paper's gradient-based CTDE loop) or ``"es"``
+            (the gradient-free evolutionary-strategies engine; no critic
+            is built, and the es_* overrides below apply).
+        es_population / es_sigma / es_lr / es_weight_decay: Convenience
+            overrides of the matching ``train_config`` ES knobs.
     """
     if name not in FRAMEWORK_NAMES:
         raise ValueError(f"unknown framework {name!r}; choose from {FRAMEWORK_NAMES}")
@@ -260,6 +272,17 @@ def build_framework(
         train_config = replace(
             train_config, rollout_transport=str(rollout_transport)
         )
+    if trainer is not None:
+        train_config = replace(train_config, trainer=str(trainer))
+    es_overrides = {
+        "es_population": es_population,
+        "es_sigma": es_sigma,
+        "es_lr": es_lr,
+        "es_weight_decay": es_weight_decay,
+    }
+    es_overrides = {k: v for k, v in es_overrides.items() if v is not None}
+    if es_overrides:
+        train_config = replace(train_config, **es_overrides)
     seeds = SeedSequenceFactory(seed)
 
     if noise_model is not None or shots is not None:
@@ -296,51 +319,52 @@ def build_framework(
             name, env, actors, None, metadata, seeds.rng("evaluation")
         )
 
-    if name == "proposed":
+    if name in ("proposed", "comp1"):
         actors = _quantum_actor_group(env_config, vqc_config, seeds, backend_factory)
-        critic = _quantum_critic(
-            env_config, vqc_config, seeds, backend_factory, "critic-weights"
-        )
-        target = _quantum_critic(
-            env_config, vqc_config, seeds, backend_factory, "target-weights"
-        )
-    elif name == "comp1":
-        actors = _quantum_actor_group(env_config, vqc_config, seeds, backend_factory)
-        critic = ClassicalCentralCritic(
-            env_config.state_size, comp2_net.critic_hidden, seeds.rng("critic")
-        )
-        target = ClassicalCentralCritic(
-            env_config.state_size, comp2_net.critic_hidden, seeds.rng("target")
-        )
     elif name == "comp2":
         actors = _classical_actor_group(
             env_config, comp2_net.actor_hidden, seeds, comp2_net.activation
-        )
-        critic = ClassicalCentralCritic(
-            env_config.state_size, comp2_net.critic_hidden, seeds.rng("critic")
-        )
-        target = ClassicalCentralCritic(
-            env_config.state_size, comp2_net.critic_hidden, seeds.rng("target")
         )
     else:  # comp3
         actors = _classical_actor_group(
             env_config, comp3_net.actor_hidden, seeds, comp3_net.activation
         )
-        critic = ClassicalCentralCritic(
-            env_config.state_size, comp3_net.critic_hidden, seeds.rng("critic")
-        )
-        target = ClassicalCentralCritic(
-            env_config.state_size, comp3_net.critic_hidden, seeds.rng("target")
-        )
 
-    trainer = CTDETrainer(
-        env, actors, critic, target, train_config, seeds.rng("rollouts")
-    )
+    if train_config.trainer == "es":
+        # Gradient-free engine: population search over the actor team, no
+        # critic at all (and none constructed, so the parameter accounting
+        # reflects what actually trains).
+        trainer = ESTrainer(env, actors, train_config, seeds.rng("rollouts"))
+        critic_parameters = 0
+    else:
+        if name == "proposed":
+            critic = _quantum_critic(
+                env_config, vqc_config, seeds, backend_factory, "critic-weights"
+            )
+            target = _quantum_critic(
+                env_config, vqc_config, seeds, backend_factory, "target-weights"
+            )
+        else:
+            critic_hidden = (
+                comp3_net.critic_hidden if name == "comp3"
+                else comp2_net.critic_hidden
+            )
+            critic = ClassicalCentralCritic(
+                env_config.state_size, critic_hidden, seeds.rng("critic")
+            )
+            target = ClassicalCentralCritic(
+                env_config.state_size, critic_hidden, seeds.rng("target")
+            )
+        trainer = CTDETrainer(
+            env, actors, critic, target, train_config, seeds.rng("rollouts")
+        )
+        critic_parameters = critic.n_parameters()
+
     per_actor = actors.actors[0].n_parameters()
     metadata = {
         "actor_parameters": per_actor,
-        "critic_parameters": critic.n_parameters(),
-        "total_parameters": actors.n_parameters() + critic.n_parameters(),
+        "critic_parameters": critic_parameters,
+        "total_parameters": actors.n_parameters() + critic_parameters,
     }
     return Framework(name, env, actors, trainer, metadata, seeds.rng("evaluation"))
 

@@ -104,6 +104,10 @@ class _WorkerState:
 
     def __init__(self, payload):
         self.actors = payload["actors"]
+        # Population groups (the ES engine) map env rows to members by
+        # *global* row index; tell the mirror where its shard starts.
+        if hasattr(self.actors, "set_row_offset"):
+            self.actors.set_row_offset(payload["first_row"])
         checkpoint = payload.get("checkpoint")
         if checkpoint is None:
             self.vector_env = make_vector_env(
@@ -123,6 +127,12 @@ class _WorkerState:
 
     def _load_weights(self, weight_states):
         if weight_states is None:
+            return
+        if isinstance(weight_states, dict):
+            # A group-level broadcast (the ES engine's base-plus-seeds
+            # generation payload) instead of per-actor weight dicts; the
+            # group reconstructs its member weights locally.
+            self.actors.load_broadcast(weight_states)
             return
         for actor, state in zip(self.actors.actors, weight_states):
             if state is not None:

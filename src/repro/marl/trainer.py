@@ -33,6 +33,7 @@ import numpy as np
 from repro.envs.vector import make_vector_env
 from repro.marl import mapg
 from repro.marl.buffer import Episode, RolloutBuffer
+from repro.marl.critics import paired_critic_values
 from repro.marl.metrics import MetricsHistory
 from repro.marl.parallel import ShardedRolloutCollector
 from repro.marl.rollout import VectorRolloutCollector
@@ -218,9 +219,13 @@ class CTDETrainer:
         """One gradient step on critic and actors from a transition batch."""
         cfg = self.config
 
-        # Critic forward (differentiable) + frozen bootstrap values.
-        values = self.critic(batch.states)
-        next_values = self.target_critic.values(batch.next_states)
+        # Critic forward (differentiable) + frozen bootstrap values.  On
+        # quantum critic pairs both forwards share one stacked circuit
+        # evaluation over the per-sample weight axis (see
+        # repro.marl.critics.paired_critic_values).
+        values, next_values = paired_critic_values(
+            self.critic, self.target_critic, batch.states, batch.next_states
+        )
         targets = mapg.td_targets(batch.rewards, next_values, batch.dones, cfg.gamma)
         advantages = mapg.td_errors(targets, values.data)
 

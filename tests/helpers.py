@@ -9,6 +9,13 @@ for any engine over either environment family and asserts bit-identical
 episodes, train-epoch metrics, and post-run RNG stream positions, so every
 suite pins the contract through one code path instead of hand-rolled
 copies.
+
+The **ES axis** extends the same harness to the gradient-free training
+engine (:mod:`repro.marl.evolution`): one ES generation must be
+bit-identical under the per-member reference loop ("serial"), the stacked
+in-process evaluation ("stacked"), and the population-sharded worker pool
+over both transports — including the updated base vector and the RNG
+stream positions.
 """
 
 
@@ -23,6 +30,7 @@ from repro.envs.multi_hop import MultiHopOffloadEnv, layered_topology
 from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.marl.actors import ActorGroup, ClassicalActor
 from repro.marl.critics import ClassicalCentralCritic
+from repro.marl.evolution import ESTrainer
 from repro.marl.parallel.transport import EPISODE_COLUMNS
 from repro.marl.trainer import CTDETrainer
 from repro.quantum import statevector as sv
@@ -200,6 +208,115 @@ def assert_cross_engine_equivalence(env_kind, engines, n_epochs=2, **kwargs):
     ]
     for other in runs[1:]:
         assert_engine_runs_equal(runs[0], other)
+    return runs
+
+
+# -- ES cross-engine equivalence axis ------------------------------------------
+
+#: Every interchangeable ES evaluation engine, in contract-chain order:
+#: per-member reference loop, stacked in-process, sharded over each
+#: transport.
+ES_ENGINES = ("serial", "stacked", "sharded-pipe", "sharded-shm")
+
+_ES_ENGINE_SETTINGS = {
+    "serial": {"rollout_mode": "serial"},
+    "stacked": {"rollout_mode": "vector"},
+    "sharded-pipe": {"rollout_mode": "sharded", "rollout_transport": "pipe"},
+    "sharded-shm": {"rollout_mode": "sharded", "rollout_transport": "shm"},
+}
+
+
+def make_es_trainer(env_kind, engine, seed=3, population=4, n_envs=1,
+                    n_workers=2, episode_limit=5, env_kwargs=None,
+                    **train_overrides):
+    """An identically-seeded :class:`ESTrainer` for any ES engine.
+
+    Mirrors :func:`make_engine_trainer`: two calls differing only in
+    ``engine`` build trainers whose sole difference is how the population
+    is evaluated — the precondition for asserting bit-identity.
+    """
+    if engine not in _ES_ENGINE_SETTINGS:
+        raise ValueError(
+            f"unknown ES engine {engine!r}; choose from {ES_ENGINES}"
+        )
+    env = make_offload_env(
+        env_kind, seed, episode_limit=episode_limit, **(env_kwargs or {})
+    )
+    actors = make_classical_team(env, seed + 1)
+    settings = {
+        "trainer": "es",
+        "n_epochs": 2,
+        "episodes_per_epoch": 2,
+        "es_population": population,
+        "es_sigma": 0.05,
+        "es_lr": 0.1,
+        "rollout_envs": n_envs,
+        "rollout_workers": n_workers,
+    }
+    settings.update(_ES_ENGINE_SETTINGS[engine])
+    settings.update(train_overrides)
+    if settings["rollout_mode"] in ("serial", "vector"):
+        settings["rollout_workers"] = 1
+    config = TrainingConfig(**settings)
+    return ESTrainer(env, actors, config, np.random.default_rng(seed))
+
+
+@dataclass
+class ESEngineRun:
+    """Everything one ES engine produced: the bit-identity surface."""
+
+    engine: str
+    records: list  # train_epoch metric dicts, in order
+    base_vector: np.ndarray  # theta after the run
+    action_rng_state: dict  # trainer.rng position after the run
+    env_rng_state: dict  # env.rng position after the run
+
+
+def run_es_generations(env_kind, engine, n_generations=2, **kwargs):
+    """Run ``n_generations`` ES generations under one engine; capture all."""
+    trainer = make_es_trainer(env_kind, engine, **kwargs)
+    try:
+        records = [trainer.train_epoch() for _ in range(n_generations)]
+        return ESEngineRun(
+            engine=engine,
+            records=records,
+            base_vector=trainer.base_vector.copy(),
+            action_rng_state=trainer.rng.bit_generator.state,
+            env_rng_state=trainer.env.rng.bit_generator.state,
+        )
+    finally:
+        trainer.close()
+
+
+def assert_es_runs_equal(reference, other):
+    """Bit-identical generation records, base vectors, and RNG positions."""
+    label = f"{other.engine} vs {reference.engine}"
+    assert len(reference.records) == len(other.records), label
+    for record_ref, record_other in zip(reference.records, other.records):
+        assert record_ref.keys() == record_other.keys(), label
+        for key in record_ref:
+            assert record_ref[key] == record_other[key], f"{label}: {key}"
+    assert np.array_equal(reference.base_vector, other.base_vector), label
+    assert reference.action_rng_state == other.action_rng_state, label
+    assert reference.env_rng_state == other.env_rng_state, label
+
+
+def assert_es_cross_engine_equivalence(env_kind, engines, n_generations=2,
+                                       **kwargs):
+    """The ES harness: every engine's run is bit-identical to the first's.
+
+    Unlike the MAPG chain, the full four-way equality holds at *any* env
+    copy count: every ES engine shares the same lockstep vector env layout
+    (the per-member loop only changes how probabilities are computed), so
+    nothing about stream consumption differs between engines.
+    """
+    runs = [
+        run_es_generations(env_kind, engine, n_generations=n_generations,
+                           **kwargs)
+        for engine in engines
+    ]
+    for other in runs[1:]:
+        assert_es_runs_equal(runs[0], other)
     return runs
 
 

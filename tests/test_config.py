@@ -169,6 +169,100 @@ class TestTrainingConfig:
                               rollout_envs=4).effective_rollout_envs == 1
 
 
+class TestTrainerSelection:
+    def test_defaults_to_mapg_with_unset_es_knobs(self):
+        config = TrainingConfig()
+        assert config.trainer == "mapg"
+        assert config.es_population is None
+        assert config.es_sigma is None
+
+    def test_es_defaults_resolve(self):
+        config = TrainingConfig(trainer="es")
+        assert config.effective_es_population == 8
+        assert config.effective_es_sigma == 0.1
+        assert config.effective_es_lr == 0.05
+        assert config.effective_es_weight_decay == 0.0
+
+    def test_unknown_trainer_rejected(self):
+        with pytest.raises(ValueError, match="trainer"):
+            TrainingConfig(trainer="evolution")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # Non-positive / malformed ES knobs.
+            {"trainer": "es", "es_population": 0},
+            {"trainer": "es", "es_population": -2},
+            {"trainer": "es", "es_population": 2.5},
+            {"trainer": "es", "es_sigma": -0.1},
+            {"trainer": "es", "es_lr": 0.0},
+            {"trainer": "es", "es_lr": -1.0},
+            {"trainer": "es", "es_weight_decay": -0.5},
+            # sigma=0 is only the evaluation mode with a single member.
+            {"trainer": "es", "es_sigma": 0.0},
+            {"trainer": "es", "es_population": 4, "es_sigma": 0.0},
+            # ... and a single member with sigma>0 can never update.
+            {"trainer": "es", "es_population": 1},
+            {"trainer": "es", "es_population": 1, "es_sigma": 0.2},
+        ],
+    )
+    def test_bad_es_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            # ES knobs are inert under the gradient trainer — reject, do
+            # not silently ignore (mirrors the rollout_transport policy).
+            {"es_population": 4},
+            {"es_sigma": 0.2},
+            {"es_lr": 0.1},
+            {"es_weight_decay": 0.01},
+            {"trainer": "mapg", "es_population": 8},
+        ],
+    )
+    def test_inert_es_knobs_rejected_under_mapg(self, kwargs):
+        with pytest.raises(ValueError, match="es_"):
+            TrainingConfig(**kwargs)
+
+    def test_mapg_only_knobs_rejected_under_es(self):
+        with pytest.raises(ValueError, match="entropy_coef"):
+            TrainingConfig(trainer="es", entropy_coef=0.01)
+
+    def test_evaluation_mode_accepted(self):
+        config = TrainingConfig(trainer="es", es_population=1, es_sigma=0.0)
+        assert config.effective_es_sigma == 0.0
+        assert config.effective_es_population == 1
+
+    def test_es_population_multiplies_shardable_rows(self):
+        """Workers shard population * envs-per-member rows under ES."""
+        config = TrainingConfig(
+            trainer="es", es_population=8, rollout_workers=6
+        )
+        assert config.total_rollout_rows == 8
+        assert config.effective_rollout_workers == 6
+        config = TrainingConfig(
+            trainer="es", es_population=4, rollout_envs=2,
+            episodes_per_epoch=4, rollout_workers=16,
+        )
+        assert config.total_rollout_rows == 8
+        assert config.effective_rollout_workers == 8
+        # An explicit transport is valid whenever the ES pool can shard.
+        config = TrainingConfig(
+            trainer="es", es_population=4, rollout_workers=2,
+            rollout_transport="shm",
+        )
+        assert config.rollout_transport == "shm"
+        # ... and still rejected when it cannot (one member, one row —
+        # the sigma=0 evaluation mode keeps the es validation quiet).
+        with pytest.raises(ValueError, match="rollout_transport"):
+            TrainingConfig(
+                trainer="es", es_population=1, es_sigma=0.0,
+                rollout_transport="shm",
+            )
+
+
 class TestBaselineShapes:
     def test_comp2_near_50_parameters(self):
         cfg = SingleHopConfig()

@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.marl.critics import ClassicalCentralCritic, QuantumCentralCritic
+from repro.marl.critics import (
+    ClassicalCentralCritic,
+    QuantumCentralCritic,
+    critic_pair_stackable,
+    paired_critic_values,
+)
 from repro.nn.tensor import Tensor
+from repro.quantum.backends import StatevectorBackend
 from repro.quantum.vqc import build_vqc
 
 
@@ -93,3 +99,111 @@ class TestClassicalCentralCritic:
         states = rng.uniform(size=(3, 16))
         target.load_state_dict(critic.state_dict())
         assert np.allclose(critic.values(states), target.values(states))
+
+
+class TestPairedCriticValues:
+    """The batched online+target forward (one stacked circuit call)."""
+
+    def quantum_pair(self, critic_vqc):
+        critic = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(1), value_scale=10.0
+        )
+        target = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(2), value_scale=10.0
+        )
+        return critic, target
+
+    def test_quantum_pair_is_stackable(self, critic_vqc):
+        critic, target = self.quantum_pair(critic_vqc)
+        assert critic_pair_stackable(critic, target)
+
+    def test_structurally_distinct_circuits_also_stack(self, rng):
+        """The framework builds online/target from separate build_vqc
+        calls with one seed — different objects, same structure."""
+        critic = QuantumCentralCritic(
+            build_vqc(4, 16, 20, seed=5), np.random.default_rng(1)
+        )
+        target = QuantumCentralCritic(
+            build_vqc(4, 16, 20, seed=5), np.random.default_rng(2)
+        )
+        assert critic_pair_stackable(critic, target)
+        states = rng.uniform(size=(3, 16))
+        next_states = rng.uniform(size=(3, 16))
+        values, next_values = paired_critic_values(
+            critic, target, states, next_states
+        )
+        assert np.allclose(values.data, critic.values(states), atol=1e-12)
+        assert np.allclose(
+            next_values, target.values(next_states), atol=1e-12
+        )
+
+    def test_non_stackable_pairs_fall_back(self, critic_vqc, rng):
+        quantum = QuantumCentralCritic(critic_vqc, np.random.default_rng(1))
+        classical = ClassicalCentralCritic(16, (4,), np.random.default_rng(2))
+        head = QuantumCentralCritic(
+            critic_vqc, np.random.default_rng(3), trainable_head=True
+        )
+        shots = QuantumCentralCritic(
+            critic_vqc,
+            np.random.default_rng(4),
+            backend=StatevectorBackend(shots=64, rng=np.random.default_rng(5)),
+            gradient_method="parameter_shift",
+        )
+        different = QuantumCentralCritic(
+            build_vqc(4, 16, 21, seed=6), np.random.default_rng(6)
+        )
+        assert not critic_pair_stackable(classical, classical)
+        assert not critic_pair_stackable(quantum, classical)
+        assert not critic_pair_stackable(quantum, head)
+        assert not critic_pair_stackable(quantum, shots)
+        assert not critic_pair_stackable(quantum, different)
+
+    def test_fallback_is_bit_identical_to_two_pass(self, rng):
+        critic = ClassicalCentralCritic(16, (4,), np.random.default_rng(1))
+        target = ClassicalCentralCritic(16, (4,), np.random.default_rng(2))
+        states = rng.normal(size=(5, 16))
+        next_states = rng.normal(size=(5, 16))
+        values, next_values = paired_critic_values(
+            critic, target, states, next_states
+        )
+        assert np.array_equal(values.data, critic(Tensor(states)).data)
+        assert np.array_equal(next_values, target.values(next_states))
+
+    def test_stacked_forward_matches_two_pass(self, critic_vqc, rng):
+        critic, target = self.quantum_pair(critic_vqc)
+        states = rng.uniform(size=(6, 16))
+        next_states = rng.uniform(size=(6, 16))
+        values, next_values = paired_critic_values(
+            critic, target, states, next_states
+        )
+        assert np.allclose(values.data, critic.values(states), atol=1e-12)
+        assert np.allclose(
+            next_values, target.values(next_states), atol=1e-12
+        )
+
+    def test_stacked_backward_matches_two_pass(self, critic_vqc, rng):
+        critic, target = self.quantum_pair(critic_vqc)
+        states = rng.uniform(size=(4, 16))
+        next_states = rng.uniform(size=(4, 16))
+        upstream = rng.normal(size=4)
+
+        values, _ = paired_critic_values(critic, target, states, next_states)
+        critic.zero_grad()
+        (values * upstream).sum().backward()
+        stacked_grad = critic.layer.weights.grad.copy()
+
+        critic.zero_grad()
+        (critic(Tensor(states)) * upstream).sum().backward()
+        reference_grad = critic.layer.weights.grad.copy()
+
+        assert np.allclose(stacked_grad, reference_grad, atol=1e-12)
+        # The frozen target accumulated nothing.
+        assert target.layer.weights.grad is None
+
+    def test_mismatched_shapes_rejected(self, critic_vqc, rng):
+        critic, target = self.quantum_pair(critic_vqc)
+        with pytest.raises(ValueError, match="must match"):
+            paired_critic_values(
+                critic, target,
+                rng.uniform(size=(3, 16)), rng.uniform(size=(4, 16)),
+            )

@@ -171,7 +171,7 @@ class TestAblations:
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert {
-            "fig3", "fig4", "section4d", "ablation-encoding",
+            "fig3", "fig4", "section4d", "es-train", "ablation-encoding",
             "ablation-gradients", "ablation-noise", "ablation-shots",
             "ablation-budget", "ablation-template", "ablation-plateau",
         } == set(EXPERIMENTS)
