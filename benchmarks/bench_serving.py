@@ -1,0 +1,85 @@
+"""Policy-serving latency/throughput: the adaptive micro-batching frontier.
+
+Drives :func:`repro.serving.loadgen.run_serving_load` against live servers
+on ephemeral ports (fresh server per scenario, checkpoint trained once):
+
+- **closed loop** — C always-busy clients; sustainable throughput and the
+  latency that comes with it, per concurrency;
+- **frontier** — the batch-size-vs-latency trade at fixed concurrency,
+  including the acceptance comparison: adaptive batching must beat the
+  batch-size-1 server on throughput without giving up p99;
+- **open loop** — fixed offered rates at fractions of measured capacity;
+  latency counted from each request's *scheduled* arrival, which is the
+  accounting that exposes the queueing knee.
+
+The standalone entry point writes ``BENCH_serving.json`` so the serving
+perf trajectory is tracked across PRs.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] \
+        [--json-dir DIR]
+"""
+
+import argparse
+
+from benchio import write_bench_json
+
+from repro.serving.loadgen import run_serving_load
+
+JSON_NAME = "BENCH_serving.json"
+
+
+def _print_table(document):
+    print(f"closed loop (adaptive, max_wait_us={document['max_wait_us']}):")
+    print(f"{'clients':>8}  {'rps':>8}  {'p50 ms':>8}  {'p99 ms':>8}")
+    for row in document["closed_loop"]:
+        print(
+            f"{row['concurrency']:>8}  {row['throughput_rps']:>8.0f}  "
+            f"{row['p50_ms']:>8.2f}  {row['p99_ms']:>8.2f}"
+        )
+    print("\nbatch-size frontier "
+          f"({document['batched_vs_single']['concurrency']} clients):")
+    print(f"{'max_batch':>9}  {'rps':>8}  {'p99 ms':>8}  {'mean rows':>9}")
+    for row in document["frontier"]:
+        print(
+            f"{row['max_batch']:>9}  {row['throughput_rps']:>8.0f}  "
+            f"{row['p99_ms']:>8.2f}  {row['mean_batch_rows']:>9.1f}"
+        )
+    comparison = document["batched_vs_single"]
+    print(
+        f"\nbatched vs single: {comparison['throughput_ratio']:.2f}x "
+        f"throughput, batched_is_faster={comparison['batched_is_faster']}"
+    )
+    if document["open_loop"]:
+        print("\nopen loop (offered rate sweep):")
+        print(f"{'rps in':>8}  {'rps out':>8}  {'p50 ms':>8}  {'p99 ms':>8}")
+        for row in document["open_loop"]:
+            print(
+                f"{row['offered_rps']:>8}  {row['throughput_rps']:>8.0f}  "
+                f"{row['p50_ms']:>8.2f}  {row['p99_ms']:>8.2f}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short durations and small sweeps for CI",
+    )
+    parser.add_argument("--framework", default="proposed")
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="seconds per load scenario (default: 0.6 smoke, 2.5 full)",
+    )
+    parser.add_argument("--json-dir", default=None)
+    args = parser.parse_args()
+
+    document = run_serving_load(
+        framework=args.framework, smoke=args.smoke, duration=args.duration
+    )
+    _print_table(document)
+    path = write_bench_json(JSON_NAME, document, args.json_dir)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

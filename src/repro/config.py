@@ -16,6 +16,7 @@ __all__ = [
     "VQCConfig",
     "ClassicalNetConfig",
     "TrainingConfig",
+    "ServingConfig",
     "replace",
 ]
 
@@ -428,6 +429,95 @@ class TrainingConfig:
     def effective_es_weight_decay(self):
         """ES weight decay with the documented default applied."""
         return self._effective_es("es_weight_decay")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Policy-serving tier knobs (see ``docs/serving.md``).
+
+    Args:
+        max_batch: Most decision rows coalesced into one stacked circuit
+            call.  Raising it trades per-request latency for throughput;
+            the frontier is measured by ``benchmarks/bench_serving.py``.
+        max_wait_us: Adaptive batching window in microseconds — how long
+            the oldest queued request may wait for companions before the
+            batch is flushed regardless of size.  0 flushes immediately
+            (batch size is then whatever arrived during the previous
+            evaluation).
+        max_pending: Upper bound on queued decision rows before new
+            requests are rejected with an overload error (HTTP 503).
+            0 means unbounded.
+        workers: Inference shard processes.  1 evaluates in-process; more
+            fan each micro-batch across processes over the rollout
+            transport seam.
+        transport: How sharded workers ship probability blocks back —
+            ``"pipe"`` (pickle pipes) or ``"shm"`` (shared-memory ring);
+            ``"auto"`` resolves to ``"pipe"``, which wins for the small
+            blocks typical of serving.  Only meaningful with
+            ``workers > 1``.
+        reload_poll_ms: Hot-reload watcher poll interval in milliseconds;
+            0 disables checkpoint watching.
+        sample_seed: Seed for the server-owned action-sampling stream
+            (sampling happens in the parent even in sharded mode, so
+            responses are reproducible for any worker count).
+        host: Bind address for the HTTP server.
+        port: Bind port (0 picks an ephemeral port; useful for tests).
+    """
+
+    max_batch: int = 32
+    max_wait_us: int = 2000
+    max_pending: int = 0
+    workers: int = 1
+    transport: str = "auto"
+    reload_poll_ms: int = 200
+    sample_seed: int = 0
+    host: str = "127.0.0.1"
+    port: int = 8123
+
+    _TRANSPORTS = ("auto", "pipe", "shm")
+
+    def __post_init__(self):
+        if not isinstance(self.max_batch, (int, np.integer)) or self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be a positive integer, got {self.max_batch!r}"
+            )
+        if self.max_wait_us < 0:
+            raise ValueError(
+                f"max_wait_us must be >= 0, got {self.max_wait_us!r}"
+            )
+        if self.max_pending < 0:
+            raise ValueError(
+                f"max_pending must be >= 0, got {self.max_pending!r}"
+            )
+        if not isinstance(self.workers, (int, np.integer)) or self.workers < 1:
+            raise ValueError(
+                f"workers must be a positive integer, got {self.workers!r}"
+            )
+        if self.transport not in self._TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {self._TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+        if self.workers == 1 and self.transport != "auto":
+            # Same inert-knob policy as TrainingConfig.rollout_transport:
+            # with one worker there is no transport, so an explicit setting
+            # would silently do nothing.
+            raise ValueError(
+                f"transport={self.transport!r} only affects sharded serving, "
+                f"but workers=1 evaluates in-process; set workers > 1 or "
+                f"leave transport='auto'"
+            )
+        if self.reload_poll_ms < 0:
+            raise ValueError(
+                f"reload_poll_ms must be >= 0, got {self.reload_poll_ms!r}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port!r}")
+
+    @property
+    def effective_transport(self):
+        """The transport the sharded tier actually uses (auto -> pipe)."""
+        return "pipe" if self.transport == "auto" else self.transport
 
 
 # Classical baseline shapes used by the paper's comparison (Section IV-C).

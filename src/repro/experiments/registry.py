@@ -12,6 +12,7 @@ from repro.experiments.evolution import run_es_training
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.section4d import run_section4d
+from repro.experiments.serving import run_serving_benchmark
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
 
@@ -59,6 +60,12 @@ EXPERIMENTS = {
             "Gradient-free ES training of a framework (optionally vs MAPG)",
             run_es_training,
             "Extension: Kölle et al. 2023/2024 ES for quantum MARL",
+        ),
+        ExperimentSpec(
+            "serving-load",
+            "Policy-serving latency/throughput: micro-batching frontier",
+            run_serving_benchmark,
+            "Extension: ROADMAP serving tier (online offloading decisions)",
         ),
         ExperimentSpec(
             "ablation-encoding",

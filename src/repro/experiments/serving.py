@@ -1,0 +1,28 @@
+"""Serving-tier load experiment: latency/throughput of batched inference.
+
+A thin registry front for :func:`repro.serving.loadgen.run_serving_load`,
+so the CLI and CI launch the serving benchmark through the same door as
+the paper experiments.  The heavy lifting — checkpointing a trained
+framework, standing servers up on ephemeral ports, closed/open-loop load
+generation — lives in :mod:`repro.serving.loadgen`.
+"""
+
+from __future__ import annotations
+
+from repro.serving.loadgen import run_serving_load
+
+__all__ = ["run_serving_benchmark"]
+
+
+def run_serving_benchmark(framework="proposed", smoke=False, **kwargs):
+    """Run the serving load benchmark; returns the result document.
+
+    Args:
+        framework: Which arm's policies to serve.
+        smoke: Short durations and small sweeps (CI-sized).
+        **kwargs: Forwarded to
+            :func:`repro.serving.loadgen.run_serving_load`
+            (``duration``, ``concurrencies``, ``batch_sizes``,
+            ``offered_rates``, ``max_wait_us``).
+    """
+    return run_serving_load(framework=framework, smoke=smoke, **kwargs)

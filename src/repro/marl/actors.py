@@ -348,6 +348,51 @@ class ActorGroup:
             axis=1,
         )
 
+    def _check_rows(self, observations, agent_indices):
+        """Validate and normalise ragged-row inputs for rows_probabilities."""
+        observations = np.asarray(observations, dtype=np.float64)
+        agent_indices = np.asarray(agent_indices, dtype=np.int64)
+        if observations.ndim != 2:
+            raise ValueError(
+                f"observations must be (R, obs_size), got {observations.shape}"
+            )
+        if agent_indices.shape != (observations.shape[0],):
+            raise ValueError(
+                f"{observations.shape[0]} observation rows but "
+                f"{agent_indices.shape} agent indices"
+            )
+        if agent_indices.size and (
+            agent_indices.min() < 0 or agent_indices.max() >= self.n_agents
+        ):
+            raise ValueError(
+                f"agent indices must be in [0, {self.n_agents}), got "
+                f"range [{agent_indices.min()}, {agent_indices.max()}]"
+            )
+        return observations, agent_indices
+
+    def rows_probabilities(self, observations, agent_indices):
+        """``(R, A)`` probabilities for ragged rows of (agent, observation).
+
+        Row ``r`` is agent ``agent_indices[r]`` evaluated on
+        ``observations[r]`` — the serving tier's shape, where one
+        micro-batch mixes arbitrary agents in arbitrary order (unlike
+        :meth:`batch_probabilities`, which wants every agent once per env
+        copy).  The base implementation runs one batched forward per
+        *distinct* agent; :class:`QuantumActorGroup` overrides it with a
+        single stacked circuit evaluation.
+        """
+        observations, agent_indices = self._check_rows(
+            observations, agent_indices
+        )
+        n_actions = self.actors[0].n_actions
+        probs = np.empty((observations.shape[0], n_actions))
+        for agent in np.unique(agent_indices):
+            mask = agent_indices == agent
+            probs[mask] = self.actors[int(agent)].probabilities(
+                observations[mask]
+            )
+        return probs
+
     def act_batch(self, observations, rng, greedy=False):
         """``(N, n_agents)`` actions for ``(N, n_agents, obs_size)`` inputs.
 
@@ -515,6 +560,34 @@ class QuantumActorGroup(ActorGroup):
         else:
             probs = _stable_softmax_np(outputs * self._logit_scale)
         return probs.reshape(n_envs, n_agents, -1)
+
+    def rows_probabilities(self, observations, agent_indices):
+        """``(R, A)`` ragged-row probabilities via one circuit evaluation.
+
+        Gathers each row's weight vector (``weights[agent_indices]``) and
+        runs the whole micro-batch as a single stacked simulator call.  On
+        the compiled path only the ``n_agents`` distinct suffix unitaries
+        are built — the same cache entry the rollout paths use, so serving
+        and training never recompile each other's work.
+        """
+        observations, agent_indices = self._check_rows(
+            observations, agent_indices
+        )
+        if self._fast_backend is None or observations.shape[0] == 0:
+            return super().rows_probabilities(observations, agent_indices)
+        weights = np.stack([a.layer.weights.data for a in self.actors])
+        if self._compiled is not None:
+            outputs = self._compiled.run_rows(
+                observations, weights, agent_indices
+            )
+        else:
+            outputs = self._fast_backend.run(
+                self._circuit, self._observables, observations,
+                weights[agent_indices],
+            )
+        if self._head_actor.policy_head == "born":
+            return self._head_actor._born_probs_np(outputs)
+        return _stable_softmax_np(outputs * self._logit_scale)
 
     def _stacked_expectations(self, observations):
         """Differentiable ``(B * n_agents, n_obs)`` team expectations.

@@ -566,6 +566,7 @@ EPISODE_COLUMNS = (
     "next_states", "next_observations", "dones",
 )
 _SHM_EPISODES_KEY = "__shm_episode_blocks__"
+_SHM_ARRAYS_KEY = "__shm_array_block__"
 
 
 def episode_to_block(episode):
@@ -666,6 +667,7 @@ class ShmRingChannel(PipeChannel):
 
     def recv(self):
         pending = []
+        pending_arrays = []
         while True:
             reply = self._recv_message()
             tag = reply[0]
@@ -676,6 +678,16 @@ class ShmRingChannel(PipeChannel):
                     # ring views need copying before the slots recycle.
                     pending.append(
                         episode_from_block(view.arrays, copy=not view.owned)
+                    )
+                finally:
+                    view.close()
+                continue
+            if tag == "arrays":
+                view = self.ring.read_block(abort_check=self._abort_check)
+                try:
+                    pending_arrays.extend(
+                        a if view.owned else np.array(a, copy=True)
+                        for a in view.arrays
                     )
                 finally:
                     view.close()
@@ -693,6 +705,14 @@ class ShmRingChannel(PipeChannel):
                         f"episode blocks but {len(pending)} arrived"
                     )
                 result["episodes"] = pending
+            if isinstance(result, dict) and _SHM_ARRAYS_KEY in result:
+                expected = result.pop(_SHM_ARRAYS_KEY)
+                if expected != len(pending_arrays):
+                    raise RuntimeError(
+                        f"worker pid={self.process.pid} announced {expected} "
+                        f"reply arrays but {len(pending_arrays)} arrived"
+                    )
+                result["arrays"] = pending_arrays
             return result
 
 
@@ -755,22 +775,39 @@ class ShmWorkerEndpoint(WorkerEndpoint):
             )
 
     def send_ok(self, result):
-        if not (isinstance(result, dict) and "episodes" in result):
+        has_episodes = isinstance(result, dict) and "episodes" in result
+        has_arrays = isinstance(result, dict) and "arrays" in result
+        if not has_episodes and not has_arrays:
             super().send_ok(result)
             return
         result = dict(result)
-        episodes = result.pop("episodes")
-        result[_SHM_EPISODES_KEY] = len(episodes)
-        for episode in episodes:
-            # Announce first: the parent enters its drain loop before the
-            # ring can fill, which is what lets a block bigger than the ring
-            # stream through chunk frames without deadlock.
-            self.connection.send(("block",))
-            self.ring.publish(
-                episode_to_block(episode),
-                timeout=None,
-                abort_check=self._abort_check,
-            )
+        if has_episodes:
+            episodes = result.pop("episodes")
+            result[_SHM_EPISODES_KEY] = len(episodes)
+            for episode in episodes:
+                # Announce first: the parent enters its drain loop before
+                # the ring can fill, which is what lets a block bigger than
+                # the ring stream through chunk frames without deadlock.
+                self.connection.send(("block",))
+                self.ring.publish(
+                    episode_to_block(episode),
+                    timeout=None,
+                    abort_check=self._abort_check,
+                )
+        if has_arrays:
+            # Generic reply arrays (the serving tier's probability blocks)
+            # ride the same ring as one multi-array block.  asarray with
+            # order="C", not ascontiguousarray — the latter's ndmin=1 would
+            # silently turn 0-d arrays into shape (1,).
+            arrays = [
+                np.asarray(a, order="C") for a in result.pop("arrays")
+            ]
+            result[_SHM_ARRAYS_KEY] = len(arrays)
+            if arrays:
+                self.connection.send(("arrays",))
+                self.ring.publish(
+                    arrays, timeout=None, abort_check=self._abort_check
+                )
         super().send_ok(result)
 
     def close(self):

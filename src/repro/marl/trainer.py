@@ -112,6 +112,10 @@ class CTDETrainer:
         self.buffer = RolloutBuffer(capacity=max(64, config.episodes_per_epoch))
         self.history = MetricsHistory()
         self.epoch = 0
+        # Periodic target syncs performed by train_epoch (the constructor's
+        # initial copy is not counted).  Checkpointed alongside the optimizer
+        # moments so a resumed run syncs on the same schedule.
+        self.target_syncs = 0
         self._collector = None
         self._sharded_collector = None
 
@@ -274,6 +278,7 @@ class CTDETrainer:
         self.epoch += 1
         if self.epoch % cfg.target_update_period == 0:
             self.sync_target()
+            self.target_syncs += 1
 
         record = {
             "epoch": self.epoch,

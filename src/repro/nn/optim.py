@@ -28,6 +28,41 @@ class Optimizer:
         """Apply one update; subclasses must override."""
         raise NotImplementedError
 
+    def state_dict(self):
+        """Mutable optimiser state as ``name -> array`` (copies).
+
+        Subclasses with per-parameter slots override; the base optimiser is
+        stateless so resuming needs nothing beyond the parameters themselves.
+        """
+        return {}
+
+    def load_state_dict(self, state):
+        """Restore state captured by :meth:`state_dict` (strict on keys/shapes)."""
+        if state:
+            raise KeyError(f"unexpected optimizer state keys: {sorted(state)}")
+
+    def _check_state_keys(self, state, expected):
+        missing = set(expected) - set(state)
+        unexpected = set(state) - set(expected)
+        if missing or unexpected:
+            raise KeyError(
+                f"optimizer state mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+
+    def _load_slots(self, state, name):
+        """Validate and copy per-parameter slot arrays ``{name}.{i}``."""
+        slots = []
+        for i, p in enumerate(self.parameters):
+            value = np.asarray(state[f"{name}.{i}"], dtype=p.data.dtype)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer slot {name}.{i} has shape {value.shape}, "
+                    f"parameter has {p.data.shape}"
+                )
+            slots.append(value.copy())
+        return slots
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -50,6 +85,14 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self):
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state):
+        expected = [f"velocity.{i}" for i in range(len(self.parameters))]
+        self._check_state_keys(state, expected)
+        self._velocity = self._load_slots(state, "velocity")
 
 
 class Adam(Optimizer):
@@ -83,6 +126,25 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self):
+        state = {"step_count": np.asarray(self._step_count, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state):
+        n = len(self.parameters)
+        expected = ["step_count"]
+        expected += [f"m.{i}" for i in range(n)]
+        expected += [f"v.{i}" for i in range(n)]
+        self._check_state_keys(state, expected)
+        m = self._load_slots(state, "m")
+        v = self._load_slots(state, "v")
+        self._step_count = int(state["step_count"])
+        self._m = m
+        self._v = v
 
 
 def clip_grad_norm(parameters, max_norm):

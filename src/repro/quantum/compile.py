@@ -168,6 +168,44 @@ class CompiledCircuit:
         psi = self.evolve(inputs, weights, batch_size)
         return self._backend.measure(psi, observables, self.circuit.n_qubits)
 
+    def evolve_rows(self, inputs, weights, rows):
+        """Final states where row ``b`` uses weight row ``rows[b]``.
+
+        The ragged-gather counterpart of :meth:`evolve`'s group-major
+        tiling: ``weights`` is the full ``(G, n_weights)`` matrix and
+        ``rows`` picks an arbitrary weight row per input — a micro-batch
+        mixing agents in any order and multiplicity.  Only the ``G``
+        distinct suffix unitaries are compiled, in the *same* cache entry
+        the tiled path uses, so alternating between the two never
+        recompiles.
+        """
+        inputs_arr, batch = _normalise_run_args(self.circuit, inputs, None)
+        weights_arr = np.asarray(weights)
+        if weights_arr.ndim != 2:
+            raise ValueError(
+                f"evolve_rows needs a (G, n_weights) matrix, got "
+                f"shape {weights_arr.shape}"
+            )
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.shape != (batch,):
+            raise ValueError(
+                f"rows must have shape ({batch},), got {rows.shape}"
+            )
+        n = self.circuit.n_qubits
+        psi = self._evolve_prefix(
+            _sv.zero_state(n, batch), inputs_arr, weights_arr[rows]
+        )
+        unitary = self.suffix_unitary(weights_arr)
+        return np.einsum("bij,bj->bi", unitary[rows], psi)
+
+    def run_rows(self, inputs, weights, rows, observables=None):
+        """Expectation values ``(B, n_observables)`` for gathered weight rows."""
+        observables = observables if observables is not None else self.observables
+        if observables is None:
+            raise ValueError("no observables given and no default set")
+        psi = self.evolve_rows(inputs, weights, rows)
+        return self._backend.measure(psi, observables, self.circuit.n_qubits)
+
     def invalidate(self):
         """Drop the cached unitary (normally unnecessary — keys are content hashes)."""
         self._cache_key = None

@@ -1,0 +1,179 @@
+"""Minimal stdlib clients for the policy server.
+
+:class:`AsyncServingClient` keeps one persistent HTTP/1.1 connection and
+is what the load generator and the tests drive; :class:`ServingClient`
+wraps ``http.client`` for synchronous callers (demo scripts, notebooks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+__all__ = ["AsyncServingClient", "ServingClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-200 response; carries the HTTP status code."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class AsyncServingClient:
+    """One keep-alive connection to a policy server.
+
+    Requests on a single client are serialised (one connection, one
+    in-flight request); open several clients for concurrency — that is
+    exactly what the load generator does.
+    """
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = int(port)
+        self._reader = None
+        self._writer = None
+
+    async def connect(self):
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc_value, tb):
+        await self.close()
+
+    async def request(self, method, path, payload=None):
+        """One round-trip; returns the decoded JSON document."""
+        if self._writer is None:
+            await self.connect()
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin1") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        raw = await self._reader.readexactly(length) if length else b""
+        document = json.loads(raw) if raw else {}
+        if status != 200:
+            raise ServerError(status, document.get("error", raw.decode()))
+        return document
+
+    async def act(self, observation, agent, greedy=False):
+        """One decision; returns the response document."""
+        return await self.request(
+            "POST", "/v1/act",
+            {
+                "observation": [float(x) for x in observation],
+                "agent": int(agent),
+                "greedy": bool(greedy),
+            },
+        )
+
+    async def act_batch(self, observations, agents, greedy=False,
+                        return_probs=False):
+        """A batch of decisions submitted atomically."""
+        return await self.request(
+            "POST", "/v1/act-batch",
+            {
+                "observations": [[float(x) for x in row]
+                                 for row in observations],
+                "agents": [int(a) for a in agents],
+                "greedy": greedy,
+                "return_probs": return_probs,
+            },
+        )
+
+    async def health(self):
+        return await self.request("GET", "/healthz")
+
+    async def stats(self):
+        return await self.request("GET", "/v1/stats")
+
+
+class ServingClient:
+    """Synchronous convenience client over ``http.client``."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self.connection = http.client.HTTPConnection(
+            host, int(port), timeout=timeout
+        )
+
+    def request(self, method, path, payload=None):
+        body = None if payload is None else json.dumps(payload)
+        self.connection.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = self.connection.getresponse()
+        raw = response.read()
+        document = json.loads(raw) if raw else {}
+        if response.status != 200:
+            raise ServerError(
+                response.status, document.get("error", raw.decode())
+            )
+        return document
+
+    def act(self, observation, agent, greedy=False):
+        return self.request(
+            "POST", "/v1/act",
+            {
+                "observation": [float(x) for x in observation],
+                "agent": int(agent),
+                "greedy": bool(greedy),
+            },
+        )
+
+    def act_batch(self, observations, agents, greedy=False,
+                  return_probs=False):
+        return self.request(
+            "POST", "/v1/act-batch",
+            {
+                "observations": [[float(x) for x in row]
+                                 for row in observations],
+                "agents": [int(a) for a in agents],
+                "greedy": greedy,
+                "return_probs": return_probs,
+            },
+        )
+
+    def health(self):
+        return self.request("GET", "/healthz")
+
+    def stats(self):
+        return self.request("GET", "/v1/stats")
+
+    def close(self):
+        self.connection.close()

@@ -1,0 +1,280 @@
+"""Closed/open-loop load generation against a live policy server.
+
+Two canonical load models:
+
+- **Closed loop** — ``C`` clients, each firing its next request the moment
+  the previous answer lands.  Measures sustainable throughput at a given
+  concurrency; latency here includes batching wait by construction.
+- **Open loop** — requests arrive on a fixed schedule at an *offered* rate
+  regardless of completions (a bounded connection pool carries them, and
+  latency is measured from the scheduled arrival, so queueing delay counts).
+  This is the model that exposes the latency cliff as offered load crosses
+  capacity.
+
+:func:`run_serving_load` drives both, plus the batch-size-vs-latency
+frontier and the batched-vs-batch-size-1 comparison the acceptance
+criterion asks for, each against a fresh server on an ephemeral port.  The
+result document is what ``benchmarks/bench_serving.py`` writes to
+``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+
+import numpy as np
+
+from repro.config import ServingConfig, SingleHopConfig, TrainingConfig
+from repro.marl.checkpoint import save_checkpoint
+from repro.marl.frameworks import build_framework
+from repro.serving.client import AsyncServingClient, ServerError
+from repro.serving.engine import FrameworkSpec
+from repro.serving.server import PolicyServer
+
+__all__ = ["latency_stats", "closed_loop", "open_loop", "run_serving_load"]
+
+
+def latency_stats(latencies):
+    """p50/p95/p99/mean in milliseconds from a list of seconds."""
+    if not latencies:
+        return {"count": 0}
+    arr = np.asarray(latencies) * 1e3
+    return {
+        "count": int(arr.size),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+
+
+async def closed_loop(host, port, n_clients, duration, observation_size,
+                      n_agents, seed=0):
+    """``n_clients`` always-busy clients for ``duration`` seconds.
+
+    Returns ``(latencies, errors, elapsed)``.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    deadline = start + duration
+    latencies = []
+    errors = 0
+
+    async def one_client(i):
+        nonlocal errors
+        client = AsyncServingClient(host, port)
+        await client.connect()
+        rng = np.random.default_rng(seed * 1000 + i)
+        observations = rng.uniform(size=(64, observation_size))
+        j = 0
+        try:
+            while loop.time() < deadline:
+                t0 = loop.time()
+                try:
+                    await client.act(observations[j % 64], j % n_agents)
+                except ServerError:
+                    errors += 1
+                else:
+                    latencies.append(loop.time() - t0)
+                j += 1
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(one_client(i) for i in range(n_clients)))
+    return latencies, errors, loop.time() - start
+
+
+async def open_loop(host, port, rate, duration, observation_size, n_agents,
+                    pool_size=64, seed=0):
+    """Fixed-rate arrivals for ``duration`` seconds over a connection pool.
+
+    Latency is measured from each request's *scheduled* arrival time, so
+    time spent waiting for a free pool connection counts against the
+    server — the honest open-loop accounting.  Returns
+    ``(latencies, errors, elapsed)``.
+    """
+    loop = asyncio.get_running_loop()
+    n_requests = max(1, int(rate * duration))
+    pool = asyncio.Queue()
+    clients = []
+    for _ in range(min(pool_size, n_requests)):
+        client = AsyncServingClient(host, port)
+        await client.connect()
+        clients.append(client)
+        pool.put_nowait(client)
+    rng = np.random.default_rng(seed)
+    observations = rng.uniform(size=(256, observation_size))
+    latencies = []
+    errors = 0
+    start = loop.time()
+
+    async def fire(i, scheduled_at):
+        nonlocal errors
+        client = await pool.get()
+        try:
+            await client.act(observations[i % 256], i % n_agents)
+        except (ServerError, ConnectionError):
+            errors += 1
+        else:
+            latencies.append(loop.time() - scheduled_at)
+        finally:
+            pool.put_nowait(client)
+
+    tasks = []
+    for i in range(n_requests):
+        scheduled_at = start + i / rate
+        delay = scheduled_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(fire(i, scheduled_at)))
+    await asyncio.gather(*tasks)
+    elapsed = loop.time() - start
+    for client in clients:
+        await client.close()
+    return latencies, errors, elapsed
+
+
+def _make_checkpoint(directory, framework_name, env_config, seed=7):
+    """Train a small framework briefly and checkpoint it for serving."""
+    framework = build_framework(
+        framework_name,
+        seed=seed,
+        env_config=env_config,
+        train_config=TrainingConfig(
+            episodes_per_epoch=1, actor_lr=1e-3, critic_lr=1e-3
+        ),
+    )
+    framework.train(n_epochs=1)
+    path = save_checkpoint(framework, os.path.join(directory, "serving"))
+    framework.close()
+    return path
+
+
+async def _measure(spec, config, checkpoint_path, scenario, **kwargs):
+    """Run one load scenario against a fresh server; returns its stats."""
+    server = PolicyServer(spec, config, checkpoint_path=checkpoint_path)
+    await server.start()
+    try:
+        latencies, errors, elapsed = await scenario(
+            config.host, server.port,
+            observation_size=server.engine.observation_size,
+            n_agents=server.engine.n_agents,
+            **kwargs,
+        )
+        stats = latency_stats(latencies)
+        stats["errors"] = int(errors)
+        stats["elapsed_s"] = float(elapsed)
+        stats["throughput_rps"] = (
+            float(len(latencies) / elapsed) if elapsed > 0 else 0.0
+        )
+        stats["batches"] = server.batcher.stats["batches"]
+        batches = max(1, server.batcher.stats["batches"])
+        stats["mean_batch_rows"] = server.batcher.stats["rows"] / batches
+        return stats
+    finally:
+        await server.stop()
+
+
+def run_serving_load(framework="proposed", smoke=False, duration=None,
+                     concurrencies=None, batch_sizes=None,
+                     offered_rates=None, max_wait_us=2000):
+    """The full serving benchmark; returns the BENCH_serving document."""
+    duration = duration if duration is not None else (0.6 if smoke else 2.5)
+    concurrencies = concurrencies if concurrencies is not None else (
+        [1, 8] if smoke else [1, 4, 16, 64]
+    )
+    batch_sizes = batch_sizes if batch_sizes is not None else (
+        [1, 8] if smoke else [1, 2, 4, 8, 16, 32]
+    )
+    env_config = SingleHopConfig()
+    spec = FrameworkSpec(name=framework, env_config=env_config)
+
+    async def _run():
+        document = {
+            "framework": framework,
+            "smoke": bool(smoke),
+            "duration_s": duration,
+            "max_wait_us": max_wait_us,
+            "cpu_count": os.cpu_count(),
+        }
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = _make_checkpoint(tmp, framework, env_config)
+            adaptive = ServingConfig(
+                max_batch=max(batch_sizes), max_wait_us=max_wait_us, port=0,
+                reload_poll_ms=0,
+            )
+
+            # Closed-loop throughput/latency vs concurrency (adaptive).
+            document["closed_loop"] = []
+            for c in concurrencies:
+                stats = await _measure(
+                    spec, adaptive, ckpt, closed_loop,
+                    n_clients=c, duration=duration, seed=c,
+                )
+                stats["concurrency"] = c
+                document["closed_loop"].append(stats)
+
+            # Batch-size-vs-latency frontier at fixed concurrency.
+            frontier_clients = max(concurrencies)
+            document["frontier"] = []
+            for size in batch_sizes:
+                config = ServingConfig(
+                    max_batch=size, max_wait_us=max_wait_us, port=0,
+                    reload_poll_ms=0,
+                )
+                stats = await _measure(
+                    spec, config, ckpt, closed_loop,
+                    n_clients=frontier_clients, duration=duration, seed=size,
+                )
+                stats["max_batch"] = size
+                document["frontier"].append(stats)
+
+            # The acceptance comparison: adaptive batching vs a batch-size-1
+            # baseline under the same closed-loop concurrency.
+            single = next(
+                s for s in document["frontier"] if s["max_batch"] == 1
+            )
+            batched = max(
+                document["frontier"], key=lambda s: s["throughput_rps"]
+            )
+            document["batched_vs_single"] = {
+                "concurrency": frontier_clients,
+                "single": single,
+                "batched": batched,
+                "throughput_ratio": (
+                    batched["throughput_rps"] / single["throughput_rps"]
+                    if single["throughput_rps"] else float("inf")
+                ),
+                "batched_is_faster": bool(
+                    batched["throughput_rps"] > single["throughput_rps"]
+                    and batched.get("p99_ms", float("inf"))
+                    <= single.get("p99_ms", float("inf"))
+                ),
+            }
+
+            # Open-loop latency vs offered load (adaptive).  Offered rates
+            # default to fractions of the measured closed-loop capacity so
+            # the sweep brackets the knee wherever this machine puts it.
+            capacity = max(
+                s["throughput_rps"] for s in document["closed_loop"]
+            )
+            rates = offered_rates if offered_rates is not None else [
+                round(capacity * frac)
+                for frac in ([0.25, 0.75] if smoke else [0.25, 0.5, 0.75, 0.9])
+            ]
+            document["open_loop"] = []
+            for rate in rates:
+                if rate < 1:
+                    continue
+                stats = await _measure(
+                    spec, adaptive, ckpt, open_loop,
+                    rate=rate, duration=duration, seed=int(rate),
+                )
+                stats["offered_rps"] = rate
+                document["open_loop"].append(stats)
+        return document
+
+    return asyncio.run(_run())

@@ -1,0 +1,356 @@
+"""Asyncio + stdlib-HTTP policy server.
+
+A deliberately small HTTP/1.1 front (no external dependencies — the repo
+constraint) over the micro-batcher:
+
+- ``POST /v1/act`` — one decision: ``{"observation": [...], "agent": 0,
+  "greedy": false}`` -> ``{"action": 2, "probs": [...], "generation": 1}``.
+- ``POST /v1/act-batch`` — many rows atomically: ``{"observations":
+  [[...], ...], "agents": [...], "greedy": false}``.
+- ``GET /healthz`` — liveness + the serving generation.
+- ``GET /v1/stats`` — batcher histogram, reload counters, request totals.
+
+Connections are keep-alive; each request parks on the batcher until its
+micro-batch flushes, so thousands of idle connections cost only their
+coroutine.  Overload (``max_pending`` exceeded) answers 503 — shedding at
+the door keeps p99 bounded for the admitted traffic.
+
+Run standalone with ``python -m repro.serving.server --checkpoint ckpt.npz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+import numpy as np
+
+from repro.config import ServingConfig
+from repro.marl.checkpoint import checkpoint_info
+from repro.serving.batcher import MicroBatcher, OverloadedError
+from repro.serving.engine import FrameworkSpec, PolicyEngine
+from repro.serving.reload import CheckpointWatcher
+from repro.serving.sharded import ShardedPolicyEngine
+
+__all__ = ["PolicyServer", "make_engine", "main"]
+
+
+def make_engine(spec, config, checkpoint_path=None):
+    """Build the in-process or sharded engine a config asks for."""
+    if config.workers > 1:
+        return ShardedPolicyEngine(
+            spec,
+            checkpoint_path=checkpoint_path,
+            n_workers=config.workers,
+            transport=config.effective_transport,
+            sample_seed=config.sample_seed,
+        )
+    return PolicyEngine(
+        spec, checkpoint_path=checkpoint_path, sample_seed=config.sample_seed
+    )
+
+
+async def _read_request(reader):
+    """Parse one HTTP/1.1 request; returns (method, path, headers, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin1").split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed request line: {request_line!r}")
+    method, path = parts[0], parts[1]
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode("latin1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                503: "Service Unavailable"}
+
+
+def _write_response(writer, status, document, keep_alive=True):
+    body = json.dumps(document).encode()
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, '')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n\r\n"
+    )
+    writer.write(head.encode("latin1") + body)
+
+
+class PolicyServer:
+    """The serving tier: engine + micro-batcher + watcher + HTTP front.
+
+    Args:
+        spec: :class:`~repro.serving.engine.FrameworkSpec` for the policy.
+        config: :class:`~repro.config.ServingConfig`.
+        checkpoint_path: Optional checkpoint to serve (and watch for hot
+            reload when ``config.reload_poll_ms > 0``).
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, spec=None, config=None, checkpoint_path=None,
+                 engine=None):
+        self.config = config if config is not None else ServingConfig()
+        self.checkpoint_path = checkpoint_path
+        if engine is None:
+            engine = make_engine(
+                spec if spec is not None else FrameworkSpec(),
+                self.config, checkpoint_path,
+            )
+        self.engine = engine
+        self.batcher = MicroBatcher(
+            engine,
+            max_batch=self.config.max_batch,
+            max_wait_us=self.config.max_wait_us,
+            max_pending=self.config.max_pending,
+        )
+        self.watcher = None
+        self._server = None
+        self._loop = None
+        self.request_count = 0
+        self.error_count = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self):
+        """Bind the socket and start the reload watcher; returns self."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.checkpoint_path and self.config.reload_poll_ms > 0:
+            initial = None
+            try:
+                initial = checkpoint_info(self.checkpoint_path).get("checksum")
+            except (OSError, ValueError):
+                pass
+            self.watcher = CheckpointWatcher(
+                self.checkpoint_path,
+                self._apply_checkpoint,
+                poll_interval=self.config.reload_poll_ms / 1000.0,
+                initial_checksum=initial,
+            )
+            self.watcher.start()
+        return self
+
+    @property
+    def port(self):
+        """The actually bound port (resolves config.port=0)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self):
+        if self.watcher is not None:
+            self.watcher.stop()
+            self.watcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.engine.close()
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, tb):
+        await self.stop()
+
+    # -- hot reload -----------------------------------------------------------
+
+    def _apply_checkpoint(self, path, header):
+        """Watcher-thread callback: shadow-load, then swap on the loop.
+
+        In-process engines pay the build+load+warm cost here, off the loop;
+        the loop only executes the pointer flip (between batches).  Sharded
+        engines instead broadcast the load on the loop — worker channels
+        are not thread-safe, so the exchange must be serialised with
+        inference, and it must not interleave with an in-flight batch.
+        """
+        engine = self.engine
+        if hasattr(engine, "load_shadow"):
+            shadow = engine.load_shadow(path)
+            self._loop.call_soon_threadsafe(engine.swap, shadow, path)
+        else:
+            self._loop.call_soon_threadsafe(engine.load, path)
+
+    # -- request handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except (ValueError, asyncio.IncompleteReadError,
+                        ConnectionError):
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    status, document = await self._dispatch(
+                        method, path, body
+                    )
+                except OverloadedError as exc:
+                    status, document = 503, {"error": str(exc)}
+                except (KeyError, TypeError, ValueError,
+                        json.JSONDecodeError) as exc:
+                    status, document = 400, {"error": str(exc)}
+                self.request_count += 1
+                if status != 200:
+                    self.error_count += 1
+                _write_response(writer, status, document, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # Shutdown cancels parked handlers; the transport is closed
+                # either way, so finishing quietly is correct.
+                pass
+
+    async def _dispatch(self, method, path, body):
+        if method == "POST" and path == "/v1/act":
+            return await self._act(body)
+        if method == "POST" and path == "/v1/act-batch":
+            return await self._act_batch(body)
+        if method == "GET" and path == "/healthz":
+            return 200, self._health()
+        if method == "GET" and path == "/v1/stats":
+            return 200, self._stats()
+        return 404, {"error": f"no route for {method} {path}"}
+
+    async def _act(self, body):
+        payload = json.loads(body)
+        observation = np.asarray(payload["observation"], dtype=np.float64)
+        if observation.ndim != 1:
+            raise ValueError("observation must be a flat vector")
+        agent = int(payload["agent"])
+        greedy = bool(payload.get("greedy", False))
+        actions, probs, generation = await self.batcher.submit(
+            observation[None], [agent], [greedy]
+        )
+        return 200, {
+            "action": int(actions[0]),
+            "probs": [float(p) for p in probs[0]],
+            "generation": generation,
+        }
+
+    async def _act_batch(self, body):
+        payload = json.loads(body)
+        observations = np.asarray(payload["observations"], dtype=np.float64)
+        if observations.ndim != 2:
+            raise ValueError("observations must be (R, obs_size)")
+        agents = [int(a) for a in payload["agents"]]
+        greedy = payload.get("greedy", False)
+        if isinstance(greedy, bool):
+            greedy = [greedy] * len(agents)
+        else:
+            greedy = [bool(g) for g in greedy]
+        if len(agents) != observations.shape[0] or len(greedy) != len(agents):
+            raise ValueError(
+                "observations, agents, and greedy must agree in length"
+            )
+        actions, probs, generation = await self.batcher.submit(
+            observations, agents, greedy
+        )
+        document = {
+            "actions": [int(a) for a in actions],
+            "generation": generation,
+        }
+        if payload.get("return_probs", False):
+            document["probs"] = [[float(p) for p in row] for row in probs]
+        return 200, document
+
+    def _health(self):
+        return {
+            "status": "ok",
+            "generation": self.engine.generation,
+            "checkpoint": self.engine.checkpoint_path,
+            "workers": getattr(self.engine, "n_workers", 1),
+        }
+
+    def _stats(self):
+        stats = dict(self.batcher.stats)
+        stats["batch_size_hist"] = {
+            str(size): count
+            for size, count in sorted(stats["batch_size_hist"].items())
+        }
+        document = {
+            "requests": self.request_count,
+            "errors": self.error_count,
+            "generation": self.engine.generation,
+            "pending_rows": self.batcher.pending_rows,
+            "batcher": stats,
+        }
+        if self.watcher is not None:
+            document["reload"] = dict(self.watcher.stats)
+        restarts = getattr(self.engine, "total_restarts", None)
+        if restarts is not None:
+            document["worker_restarts"] = restarts
+        return document
+
+
+def main(argv=None):
+    """CLI entry point: serve a checkpoint until interrupted."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--checkpoint", default=None,
+                        help="checkpoint .npz to serve (and hot-reload)")
+    parser.add_argument("--framework", default="proposed")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123)
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-wait-us", type=int, default=2000)
+    parser.add_argument("--reload-poll-ms", type=int, default=200,
+                        help="checkpoint watcher poll interval (0 disables)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--transport", default="auto",
+                        choices=("auto", "pipe", "shm"))
+    args = parser.parse_args(argv)
+
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        reload_poll_ms=args.reload_poll_ms,
+        workers=args.workers,
+        transport=args.transport,
+        host=args.host,
+        port=args.port,
+    )
+    spec = FrameworkSpec(name=args.framework)
+
+    async def _serve():
+        server = PolicyServer(spec, config, checkpoint_path=args.checkpoint)
+        await server.start()
+        print(f"serving {args.framework} on {config.host}:{server.port}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

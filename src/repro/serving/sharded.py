@@ -1,0 +1,318 @@
+"""Multi-worker sharded serving over the rollout transport seam.
+
+One statevector process saturates around one core's worth of batched
+evaluation; the sharded engine splits each micro-batch's rows across
+worker processes, each holding its own warm framework replica, and
+concatenates the probability blocks.  It reuses the exact seam the sharded
+rollout collector built: ``make_transport`` pipes or shared-memory rings
+(probability blocks ride the ring as generic array blocks), daemon worker
+processes, and restart-and-replay crash recovery.
+
+The parent stays the single authority for everything stateful: action
+sampling (workers only compute probabilities), the generation counter, and
+which checkpoint is current — a restarted worker is simply re-initialised
+with the spec and the last broadcast checkpoint path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+
+import numpy as np
+
+from repro.marl.parallel.collector import _default_start_method
+from repro.marl.parallel.transport import (
+    WorkerCrashError,
+    make_transport,
+    make_worker_endpoint,
+)
+
+from repro.serving.engine import (
+    build_inference_framework,
+    select_actions,
+)
+
+__all__ = ["ShardedPolicyEngine", "serving_worker_main"]
+
+
+def serving_worker_main(connection, transport_info=None):
+    """Blocking command loop run inside each serving worker process.
+
+    Commands: ``init`` (spec + optional checkpoint), ``load`` (checkpoint
+    path), ``infer`` (observation rows + agent indices), ``ping``,
+    ``close``.  Replies put the probability block under ``"arrays"`` so the
+    shm transport ships it through the ring.
+    """
+    try:
+        endpoint = make_worker_endpoint(connection, transport_info)
+    except Exception:  # noqa: BLE001 — e.g. the shm segment vanished
+        try:
+            connection.send(("error", traceback.format_exc()))
+            connection.close()
+        except OSError:
+            pass
+        return
+    framework = None
+    while True:
+        try:
+            message = endpoint.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        command = message[0]
+        if command == "close":
+            endpoint.send_ok(None)
+            break
+        try:
+            if command == "init":
+                spec, checkpoint_path = message[1], message[2]
+                framework = build_inference_framework(spec)
+                if checkpoint_path is not None:
+                    from repro.marl.checkpoint import load_checkpoint
+
+                    load_checkpoint(
+                        framework, checkpoint_path, weights_only=True
+                    )
+                # Warm the compiled programs so the first batch is fast.
+                obs = np.zeros(
+                    (framework.env.n_agents, framework.env.observation_size)
+                )
+                framework.actors.rows_probabilities(
+                    obs, np.arange(framework.env.n_agents)
+                )
+                reply = None
+            elif command == "load":
+                if framework is None:
+                    raise RuntimeError("'load' before 'init'")
+                from repro.marl.checkpoint import load_checkpoint
+
+                load_checkpoint(framework, message[1], weights_only=True)
+                reply = None
+            elif command == "infer":
+                if framework is None:
+                    raise RuntimeError("'infer' before 'init'")
+                observations, agents = message[1], message[2]
+                probs = framework.actors.rows_probabilities(
+                    observations, agents
+                )
+                reply = {"arrays": [probs]}
+            elif command == "ping":
+                reply = "pong"
+            else:
+                raise RuntimeError(f"unknown serving command {command!r}")
+        except Exception:  # noqa: BLE001 — ship any failure to the parent
+            endpoint.send_error(traceback.format_exc())
+        else:
+            endpoint.send_ok(reply)
+    endpoint.close()
+
+
+class _ShardHandle:
+    """Parent-side record of one serving worker: process + channel."""
+
+    def __init__(self, context, spec, name, transport):
+        self.context = context
+        self.spec = spec
+        self.name = name
+        self.transport = transport
+        self.checkpoint_path = None
+        self.process = None
+        self.channel = None
+        self.restarts = 0
+
+    def start(self):
+        self.transport.reset()
+        parent_end, child_end = self.context.Pipe()
+        self.process = self.context.Process(
+            target=serving_worker_main,
+            args=(child_end, self.transport.worker_info()),
+            daemon=True,
+            name=self.name,
+        )
+        self.process.start()
+        child_end.close()
+        self.channel = self.transport.parent_channel(self.process, parent_end)
+        self.channel.send(("init", self.spec, self.checkpoint_path))
+        self.channel.recv()
+
+    def restart(self):
+        self.terminate()
+        self.restarts += 1
+        self.start()
+
+    def terminate(self):
+        if self.channel is not None:
+            self.channel.close()
+            self.channel = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover — last resort
+                self.process.kill()
+                self.process.join(timeout=5.0)
+            self.process = None
+
+    def close(self):
+        if self.channel is not None and self.process is not None:
+            try:
+                self.channel.send(("close",))
+                self.channel.recv()
+            except Exception:  # noqa: BLE001 — dying worker; force below
+                pass
+        self.terminate()
+        self.transport.close()
+
+
+class ShardedPolicyEngine:
+    """Fan micro-batches across worker processes; same interface as
+    :class:`~repro.serving.engine.PolicyEngine`.
+
+    Args:
+        spec: :class:`~repro.serving.engine.FrameworkSpec` every shard
+            builds from.
+        checkpoint_path: Optional checkpoint loaded into every shard at
+            startup.
+        n_workers: Shard process count.
+        transport: ``"pipe"`` or ``"shm"`` (see
+            :mod:`repro.marl.parallel.transport`).
+        sample_seed: Seed for the parent-owned sampling stream.
+        start_method: Multiprocessing start method override.
+    """
+
+    def __init__(self, spec, checkpoint_path=None, n_workers=2,
+                 transport="pipe", sample_seed=0, start_method=None):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if transport not in ("pipe", "shm"):
+            raise ValueError(
+                f"transport must be 'pipe' or 'shm', got {transport!r}"
+            )
+        self.spec = spec
+        self.generation = 0
+        self.checkpoint_path = None
+        self._sample_rng = np.random.default_rng(sample_seed)
+        self._closed = False
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else _default_start_method()
+        )
+        self._workers = [
+            _ShardHandle(
+                context, spec, name=f"repro-serving-{w}",
+                transport=make_transport(transport),
+            )
+            for w in range(n_workers)
+        ]
+        try:
+            for worker in self._workers:
+                worker.start()
+            if checkpoint_path is not None:
+                self.load(checkpoint_path)
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def n_workers(self):
+        return len(self._workers)
+
+    @property
+    def total_restarts(self):
+        """Crash-recovery count across the pool (diagnostics)."""
+        return sum(w.restarts for w in self._workers)
+
+    def shm_segment_names(self):
+        """Live shared-memory segment names (empty for pipe transport).
+
+        Every name here must vanish from ``/dev/shm`` after :meth:`close`
+        — the same leak-check contract as the rollout collector.
+        """
+        names = [w.transport.segment_name() for w in self._workers]
+        return [name for name in names if name is not None]
+
+    def _exchange(self, worker, command):
+        """Send one command with restart-and-replay crash recovery."""
+        try:
+            worker.channel.send(command)
+            return worker.channel.recv()
+        except WorkerCrashError:
+            worker.restart()
+            worker.channel.send(command)
+            return worker.channel.recv()
+
+    def load(self, path):
+        """Broadcast a checkpoint to every shard; bumps the generation.
+
+        All shards answer before the generation flips, so no mixed-weights
+        batch can be served — a batch is either fully old or fully new.
+        """
+        for worker in self._workers:
+            worker.checkpoint_path = path
+            self._exchange(worker, ("load", path))
+        self.checkpoint_path = path
+        self.generation += 1
+
+    def infer(self, observations, agents):
+        """``(R, A)`` probabilities assembled from per-shard blocks."""
+        observations = np.asarray(observations, dtype=np.float64)
+        agents = np.asarray(agents, dtype=np.int64)
+        rows = observations.shape[0]
+        n_shards = min(len(self._workers), max(rows, 1))
+        splits = np.array_split(np.arange(rows), n_shards)
+        for worker, rows_idx in zip(self._workers, splits):
+            try:
+                worker.channel.send(
+                    ("infer", observations[rows_idx], agents[rows_idx])
+                )
+            except WorkerCrashError:
+                worker.restart()
+                worker.channel.send(
+                    ("infer", observations[rows_idx], agents[rows_idx])
+                )
+        blocks = []
+        for worker, rows_idx in zip(self._workers, splits):
+            try:
+                reply = worker.channel.recv()
+            except WorkerCrashError:
+                worker.restart()
+                worker.channel.send(
+                    ("infer", observations[rows_idx], agents[rows_idx])
+                )
+                reply = worker.channel.recv()
+            blocks.append(reply["arrays"][0])
+        return np.concatenate(blocks, axis=0), self.generation
+
+    def act(self, observations, agents, greedy_mask):
+        """``(actions, probs, generation)`` — sampling stays parent-side."""
+        probs, generation = self.infer(observations, agents)
+        draws = self._sample_rng.random(probs.shape[0])
+        return select_actions(probs, greedy_mask, draws), probs, generation
+
+    def ping(self):
+        """Round-trip every worker (liveness check)."""
+        return [self._exchange(w, ("ping",)) for w in self._workers]
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter teardown
+            pass
+
+    def __repr__(self):
+        return (
+            f"ShardedPolicyEngine(workers={len(self._workers)}, "
+            f"generation={self.generation})"
+        )

@@ -31,6 +31,7 @@ from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.marl.actors import ActorGroup, ClassicalActor
 from repro.marl.critics import ClassicalCentralCritic
 from repro.marl.evolution import ESTrainer
+from repro.marl.frameworks import Framework
 from repro.marl.parallel.transport import EPISODE_COLUMNS
 from repro.marl.trainer import CTDETrainer
 from repro.quantum import statevector as sv
@@ -209,6 +210,52 @@ def assert_cross_engine_equivalence(env_kind, engines, n_epochs=2, **kwargs):
     for other in runs[1:]:
         assert_engine_runs_equal(runs[0], other)
     return runs
+
+
+def make_harness_framework(env_kind="single_hop", engine="serial", seed=3,
+                           **kwargs):
+    """Wrap a harness trainer in a real :class:`Framework`.
+
+    Gives checkpoint tests the framework-level save/load surface while
+    reusing :func:`make_engine_trainer`'s identically-seeded construction,
+    so resume runs are comparable through the equivalence harness.
+    """
+    trainer = make_engine_trainer(env_kind, engine, seed=seed, **kwargs)
+    metadata = {
+        "actor_parameters": int(
+            sum(p.data.size for p in trainer.actors.actors[0].parameters())
+        ),
+        "critic_parameters": int(
+            sum(p.data.size for p in trainer.critic.parameters())
+        ),
+    }
+    return Framework(
+        "harness", trainer.env, trainer.actors, trainer, metadata,
+        np.random.default_rng(seed + 100),
+    )
+
+
+def run_framework_epochs(framework, n_epochs, engine="framework"):
+    """Run train epochs on a built framework, captured as an EngineRun.
+
+    The companion to :func:`run_engine_epochs` for resume tests: call it
+    on a freshly built framework for the reference run and on a
+    checkpoint-restored one for the candidate, then compare with
+    :func:`assert_engine_runs_equal`.  (Pick an ``engine`` label without
+    ``"serial"`` in it so the env-stream comparison applies.)
+    """
+    trainer = framework.trainer
+    records, episode_batches = [], []
+    for _ in range(n_epochs):
+        records.append(trainer.train_epoch())
+        episode_batches.append(list(trainer.buffer.episodes))
+    return EngineRun(
+        engine=engine,
+        records=records,
+        episode_batches=episode_batches,
+        action_rng_state=trainer.rng.bit_generator.state,
+        env_rng_state=trainer.env.rng.bit_generator.state,
+    )
 
 
 # -- ES cross-engine equivalence axis ------------------------------------------

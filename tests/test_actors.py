@@ -173,6 +173,67 @@ class TestQuantumActorGroup:
         assert np.allclose(team, individual, atol=1e-12)
 
 
+class TestRowsProbabilities:
+    """The ragged-row inference surface the serving tier batches through."""
+
+    def test_quantum_rows_match_per_actor_calls(self, shared_vqc, rng):
+        group = quantum_team(shared_vqc, n=3)
+        observations = rng.uniform(size=(7, 4))
+        agents = np.array([2, 0, 1, 1, 0, 2, 0])
+        rows = group.rows_probabilities(observations, agents)
+        assert rows.shape == (7, 4)
+        for r, agent in enumerate(agents):
+            direct = group.actors[agent].probabilities(
+                observations[r][None]
+            )[0]
+            assert np.allclose(rows[r], direct, atol=1e-12), r
+
+    def test_compiled_matches_uncompiled_path(self, shared_vqc, rng):
+        def team(compile_rollouts):
+            actors = [
+                QuantumActor(shared_vqc, np.random.default_rng(i))
+                for i in range(3)
+            ]
+            return QuantumActorGroup(actors,
+                                     compile_rollouts=compile_rollouts)
+
+        observations = rng.uniform(size=(6, 4))
+        agents = [0, 2, 2, 1, 0, 1]
+        assert np.allclose(
+            team(True).rows_probabilities(observations, agents),
+            team(False).rows_probabilities(observations, agents),
+            atol=1e-12,
+        )
+
+    def test_classical_group_rows(self, rng):
+        group = ActorGroup(
+            [ClassicalActor(4, 3, (5,), rng) for _ in range(2)]
+        )
+        observations = rng.uniform(size=(5, 4))
+        agents = [1, 0, 1, 1, 0]
+        rows = group.rows_probabilities(observations, agents)
+        for r, agent in enumerate(agents):
+            direct = group.actors[agent].probabilities(
+                observations[r][None]
+            )[0]
+            assert np.allclose(rows[r], direct, atol=1e-12), r
+
+    def test_empty_batch(self, shared_vqc):
+        group = quantum_team(shared_vqc, n=2)
+        rows = group.rows_probabilities(np.empty((0, 4)), [])
+        assert rows.shape == (0, 4)
+
+    def test_validation(self, shared_vqc, rng):
+        group = quantum_team(shared_vqc, n=2)
+        observations = rng.uniform(size=(3, 4))
+        with pytest.raises(ValueError, match="observations must be"):
+            group.rows_probabilities(observations[0], [0])
+        with pytest.raises(ValueError, match="agent indices"):
+            group.rows_probabilities(observations, [0, 1])
+        with pytest.raises(ValueError, match=r"in \[0, 2\)"):
+            group.rows_probabilities(observations, [0, 1, 2])
+
+
 class TestStackedLogPolicies:
     """The single-call training forward (update-path vectorization)."""
 

@@ -6,6 +6,7 @@ import pytest
 from repro.config import (
     COMP2_NET,
     COMP3_NET,
+    ServingConfig,
     SingleHopConfig,
     TrainingConfig,
     VQCConfig,
@@ -167,6 +168,42 @@ class TestTrainingConfig:
         assert config.effective_rollout_workers == 3
         assert TrainingConfig(episodes_per_epoch=7,
                               rollout_envs=4).effective_rollout_envs == 1
+
+
+class TestServingConfig:
+    def test_defaults_valid(self):
+        cfg = ServingConfig()
+        assert cfg.max_batch == 32
+        assert cfg.workers == 1
+        assert cfg.transport == "auto"
+        assert cfg.effective_transport == "pipe"
+
+    @pytest.mark.parametrize("overrides", [
+        {"max_batch": 0},
+        {"max_batch": 1.5},
+        {"max_wait_us": -1},
+        {"max_pending": -1},
+        {"workers": 0},
+        {"transport": "carrier-pigeon"},
+        {"reload_poll_ms": -5},
+        {"port": 70000},
+    ])
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            ServingConfig(**overrides)
+
+    def test_inert_transport_knob_rejected(self):
+        """An explicit transport with workers=1 would silently do nothing."""
+        with pytest.raises(ValueError, match="workers=1"):
+            ServingConfig(transport="shm")
+        # Meaningful with sharding, and auto resolves to pipe.
+        assert ServingConfig(workers=2, transport="shm").effective_transport \
+            == "shm"
+        assert ServingConfig(workers=2).effective_transport == "pipe"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServingConfig().max_batch = 64
 
 
 class TestTrainerSelection:

@@ -171,9 +171,10 @@ class TestAblations:
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert {
-            "fig3", "fig4", "section4d", "es-train", "ablation-encoding",
-            "ablation-gradients", "ablation-noise", "ablation-shots",
-            "ablation-budget", "ablation-template", "ablation-plateau",
+            "fig3", "fig4", "section4d", "es-train", "serving-load",
+            "ablation-encoding", "ablation-gradients", "ablation-noise",
+            "ablation-shots", "ablation-budget", "ablation-template",
+            "ablation-plateau",
         } == set(EXPERIMENTS)
 
     def test_get_experiment(self):

@@ -1,0 +1,500 @@
+"""Tests for the policy-serving tier: batcher, engine, reload, shards, HTTP.
+
+The serving contract under test:
+
+- the micro-batcher coalesces concurrent requests into single stacked
+  evaluations, never splits a request group, and sheds load at the bound;
+- the engine's answers are bit-for-bit the framework's own
+  (``rows_probabilities`` / ``actors.act``) — batching changes latency,
+  never results;
+- hot reload swaps verified checkpoints between batches, drops zero
+  requests under sustained load, and never serves a torn pair;
+- the sharded engine is answer-identical to the in-process one over both
+  transports, cleans up every shm segment, and survives worker crashes.
+"""
+
+import asyncio
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.config import ServingConfig, SingleHopConfig, TrainingConfig
+from repro.marl.checkpoint import checkpoint_info, save_checkpoint
+from repro.marl.frameworks import build_framework
+from repro.serving import (
+    AsyncServingClient,
+    CheckpointWatcher,
+    MicroBatcher,
+    OverloadedError,
+    PolicyEngine,
+    PolicyServer,
+    ServerError,
+    ShardedPolicyEngine,
+    select_actions,
+)
+from repro.serving.engine import FrameworkSpec
+
+ENV = SingleHopConfig(episode_limit=5)
+TRAIN = TrainingConfig(episodes_per_epoch=1, actor_lr=1e-3, critic_lr=1e-3)
+SPEC = FrameworkSpec(name="proposed", env_config=ENV)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def checkpoints(tmp_path_factory):
+    """Two differently-trained checkpoints plus their live frameworks."""
+    base = tmp_path_factory.mktemp("serving-ckpts")
+    frameworks = {}
+    paths = {}
+    for label, seed in (("a", 7), ("b", 21)):
+        framework = build_framework(
+            "proposed", seed=seed, env_config=ENV, train_config=TRAIN
+        )
+        framework.train(n_epochs=1)
+        frameworks[label] = framework
+        paths[label] = save_checkpoint(framework, str(base / label))
+    yield {"paths": paths, "frameworks": frameworks}
+    for framework in frameworks.values():
+        framework.close()
+
+
+class TestSelectActions:
+    def test_greedy_rows_take_argmax(self, rng):
+        probs = rng.uniform(size=(6, 4))
+        probs /= probs.sum(axis=1, keepdims=True)
+        actions = select_actions(probs, [True] * 6, rng.random(6))
+        assert np.array_equal(actions, np.argmax(probs, axis=1))
+
+    def test_mixed_mask_layout_independent(self, rng):
+        """Greedy rows ignore their draws: one draw per row regardless."""
+        probs = rng.uniform(size=(5, 3))
+        probs /= probs.sum(axis=1, keepdims=True)
+        mask = [True, False, True, False, False]
+        draws = rng.random(5)
+        actions = select_actions(probs, mask, draws)
+        tampered = draws.copy()
+        tampered[0] = 1.0 - tampered[0]  # greedy row's draw is unused
+        assert np.array_equal(actions, select_actions(probs, mask, tampered))
+        # Sampled rows invert the same uniforms as the rollout sampler.
+        from repro.marl.actors import categorical_from_draws
+
+        sampled = ~np.asarray(mask)
+        assert np.array_equal(
+            actions[sampled],
+            categorical_from_draws(probs[sampled], draws[sampled]),
+        )
+
+
+class FakeEngine:
+    """Engine double recording batch sizes; action := agent index."""
+
+    def __init__(self, fail=False):
+        self.calls = []
+        self.generation = 1
+        self.fail = fail
+
+    def act(self, observations, agents, greedy):
+        if self.fail:
+            raise RuntimeError("engine exploded")
+        self.calls.append(len(observations))
+        probs = np.full((len(observations), 4), 0.25)
+        return np.asarray(agents), probs, self.generation
+
+
+class TestMicroBatcher:
+    def test_concurrent_requests_coalesce_into_one_flush(self):
+        async def scenario():
+            engine = FakeEngine()
+            batcher = MicroBatcher(engine, max_batch=8, max_wait_us=200000)
+            results = await asyncio.gather(*(
+                batcher.submit(np.zeros((1, 4)), [i % 3], [True])
+                for i in range(8)
+            ))
+            return engine, results
+
+        engine, results = run(scenario())
+        assert engine.calls == [8]  # one stacked call, not eight
+        for i, (actions, probs, generation) in enumerate(results):
+            assert actions.tolist() == [i % 3]
+            assert probs.shape == (1, 4)
+            assert generation == 1
+
+    def test_timer_flushes_partial_batch(self):
+        async def scenario():
+            engine = FakeEngine()
+            batcher = MicroBatcher(engine, max_batch=64, max_wait_us=2000)
+            await asyncio.gather(*(
+                batcher.submit(np.zeros((1, 4)), [0], [True])
+                for _ in range(3)
+            ))
+            return engine, batcher
+
+        engine, batcher = run(scenario())
+        assert engine.calls == [3]
+        assert batcher.stats["flush_time"] == 1
+        assert batcher.stats["flush_size"] == 0
+        assert batcher.pending_rows == 0
+
+    def test_request_groups_are_never_split(self):
+        async def scenario():
+            engine = FakeEngine()
+            batcher = MicroBatcher(engine, max_batch=4, max_wait_us=2000)
+            results = await asyncio.gather(
+                batcher.submit(np.zeros((3, 4)), [0, 1, 2], [True] * 3),
+                batcher.submit(np.zeros((3, 4)), [2, 1, 0], [True] * 3),
+            )
+            return engine, results
+
+        engine, results = run(scenario())
+        # 3 + 3 rows with max_batch=4: two whole-group flushes, no split.
+        assert engine.calls == [3, 3]
+        assert results[0][0].tolist() == [0, 1, 2]
+        assert results[1][0].tolist() == [2, 1, 0]
+
+    def test_oversized_group_flushes_alone(self):
+        async def scenario():
+            engine = FakeEngine()
+            batcher = MicroBatcher(engine, max_batch=2, max_wait_us=2000)
+            return engine, await batcher.submit(
+                np.zeros((5, 4)), list(range(5)), [True] * 5
+            )
+
+        engine, (actions, _, _) = run(scenario())
+        assert engine.calls == [5]
+        assert actions.tolist() == [0, 1, 2, 3, 4]
+
+    def test_overload_sheds_at_the_bound(self):
+        async def scenario():
+            engine = FakeEngine()
+            batcher = MicroBatcher(
+                engine, max_batch=64, max_wait_us=1000, max_pending=2
+            )
+            results = await asyncio.gather(
+                *(batcher.submit(np.zeros((1, 4)), [0], [False])
+                  for _ in range(3)),
+                return_exceptions=True,
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        overloaded = [r for r in results if isinstance(r, OverloadedError)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(overloaded) == 1 and len(served) == 2
+        assert batcher.stats["rejected"] == 1
+
+    def test_engine_failure_fails_the_waiters(self):
+        async def scenario():
+            batcher = MicroBatcher(FakeEngine(fail=True), max_batch=2,
+                                   max_wait_us=1000)
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                await batcher.submit(np.zeros((2, 4)), [0, 1], [True, True])
+
+        run(scenario())
+
+
+class TestPolicyEngine:
+    def test_probabilities_match_the_framework(self, checkpoints, rng):
+        engine = PolicyEngine(SPEC, checkpoint_path=checkpoints["paths"]["a"])
+        try:
+            source = checkpoints["frameworks"]["a"]
+            observations = rng.uniform(size=(6, ENV.observation_size))
+            agents = rng.integers(0, ENV.n_agents, size=6)
+            probs, generation = engine.infer(observations, agents)
+            assert generation == 1
+            for r in range(6):
+                direct = source.actors.actors[agents[r]].probabilities(
+                    observations[r][None]
+                )[0]
+                assert np.allclose(probs[r], direct, atol=1e-12)
+        finally:
+            engine.close()
+
+    def test_greedy_act_matches_direct_actors_act(self, checkpoints, rng):
+        """The serving answer is the framework's own answer."""
+        engine = PolicyEngine(SPEC, checkpoint_path=checkpoints["paths"]["a"])
+        try:
+            source = checkpoints["frameworks"]["a"]
+            observations = rng.uniform(
+                size=(ENV.n_agents, ENV.observation_size)
+            )
+            actions, _, _ = engine.act(
+                observations, np.arange(ENV.n_agents), [True] * ENV.n_agents
+            )
+            direct = source.actors.act(
+                observations, np.random.default_rng(0), greedy=True
+            )
+            assert actions.tolist() == list(direct)
+        finally:
+            engine.close()
+
+    def test_shadow_swap_bumps_generation_and_weights(self, checkpoints, rng):
+        engine = PolicyEngine(SPEC, checkpoint_path=checkpoints["paths"]["a"])
+        try:
+            observations = rng.uniform(size=(3, ENV.observation_size))
+            agents = [0, 1, 0]
+            before, _ = engine.infer(observations, agents)
+            shadow = engine.load_shadow(checkpoints["paths"]["b"])
+            engine.swap(shadow, checkpoints["paths"]["b"])
+            after, generation = engine.infer(observations, agents)
+            assert generation == 2
+            assert not np.allclose(before, after)
+            expected = checkpoints["frameworks"]["b"].actors.rows_probabilities(
+                observations, agents
+            )
+            assert np.allclose(after, expected, atol=1e-12)
+        finally:
+            engine.close()
+
+
+class TestCheckpointWatcher:
+    """Deterministic poll_once semantics (no thread, no server)."""
+
+    def make_watcher(self, path, applied):
+        info = checkpoint_info(path)
+        return CheckpointWatcher(
+            path,
+            lambda p, header: applied.append(header["checksum"]),
+            initial_checksum=info["checksum"],
+        )
+
+    def test_reload_rejects_torn_then_applies_fixed(self, checkpoints,
+                                                    tmp_path):
+        source = checkpoints["frameworks"]["a"]
+        path = str(tmp_path / "live.npz")
+        save_checkpoint(source, path)
+        applied = []
+        watcher = self.make_watcher(path, applied)
+
+        assert watcher.poll_once() is False  # nothing changed
+
+        # Same checksum, new mtime: recognised as unchanged, no reload.
+        import os
+        os.utime(path)
+        assert watcher.poll_once() is False
+        assert watcher.stats["unchanged"] == 1
+
+        # A genuinely new checkpoint applies.
+        save_checkpoint(checkpoints["frameworks"]["b"], path)
+        assert watcher.poll_once() is True
+        assert applied == [checkpoint_info(path)["checksum"]]
+
+        # A torn pair is rejected — and, because its signature is NOT
+        # recorded, the next poll retries instead of wedging.
+        with open(path, "ab") as f:
+            f.write(b"torn")
+        assert watcher.poll_once() is False
+        assert watcher.stats["rejected"] == 1
+        save_checkpoint(source, path)  # repaired with different weights
+        assert watcher.poll_once() is True
+        assert len(applied) == 2
+        assert watcher.stats["reloads"] == 2
+
+
+def _copy_checkpoint(src_archive, dst_archive):
+    shutil.copy(src_archive, dst_archive)
+    shutil.copy(
+        src_archive[: -len(".npz")] + ".json",
+        dst_archive[: -len(".npz")] + ".json",
+    )
+
+
+class TestHotReloadUnderLoad:
+    def test_zero_drops_and_no_torn_serve(self, checkpoints, tmp_path):
+        """Sustained load across a hot reload: every request answers, the
+        generation advances exactly once, and a torn overwrite is never
+        served."""
+        path = str(tmp_path / "live.npz")
+        _copy_checkpoint(checkpoints["paths"]["a"], path)
+        framework_b = checkpoints["frameworks"]["b"]
+        probe = np.linspace(0.1, 0.9, ENV.observation_size)
+        expected_after = int(np.argmax(
+            framework_b.actors.actors[0].probabilities(probe[None])[0]
+        ))
+
+        async def scenario():
+            config = ServingConfig(
+                port=0, reload_poll_ms=25, max_batch=8, max_wait_us=500
+            )
+            server = PolicyServer(SPEC, config, checkpoint_path=path)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            done = asyncio.Event()
+            responses = []
+
+            async def pound():
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    while not done.is_set():
+                        responses.append(
+                            await client.act(probe, 0, greedy=True)
+                        )
+
+            workers = [asyncio.create_task(pound()) for _ in range(4)]
+            try:
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as control:
+                    base = (await control.health())["generation"]
+                    await asyncio.sleep(0.1)  # load before the reload
+
+                    save_checkpoint(framework_b, path)
+                    deadline = loop.time() + 15.0
+                    while (await control.health())["generation"] == base:
+                        assert loop.time() < deadline, "reload never landed"
+                        await asyncio.sleep(0.02)
+                    swapped = (await control.health())["generation"]
+                    assert swapped == base + 1
+
+                    # Torn overwrite: rejected, generation stays, serving
+                    # continues.
+                    with open(path, "ab") as f:
+                        f.write(b"torn")
+                    await asyncio.sleep(0.2)  # several poll intervals
+                    stats = await control.stats()
+                    assert stats["generation"] == swapped
+                    assert stats["reload"]["rejected"] >= 1
+                    await asyncio.sleep(0.05)
+            finally:
+                done.set()
+                await asyncio.gather(*workers)  # raises on any dropped request
+                final_stats = await asyncio.wait_for(
+                    AsyncServingClient("127.0.0.1", server.port).stats(), 5
+                )
+                await server.stop()
+            return responses, final_stats
+
+        responses, stats = run(scenario())
+        assert stats["errors"] == 0  # zero drops, zero non-200s
+        assert len(responses) > 20
+        generations = {r["generation"] for r in responses}
+        assert len(generations) == 2  # old and new, nothing else
+        # Every post-swap response came from the new weights.
+        post_swap = [r for r in responses
+                     if r["generation"] == max(generations)]
+        assert post_swap, "no request observed the new generation"
+        assert all(r["action"] == expected_after for r in post_swap)
+
+
+class TestShardedEngine:
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_matches_in_process_engine(self, checkpoints, transport, rng):
+        reference = PolicyEngine(
+            SPEC, checkpoint_path=checkpoints["paths"]["a"], sample_seed=5
+        )
+        sharded = ShardedPolicyEngine(
+            SPEC, checkpoint_path=checkpoints["paths"]["a"], n_workers=2,
+            transport=transport, sample_seed=5,
+        )
+        segments = sharded.shm_segment_names()
+        try:
+            if transport == "shm":
+                assert segments, "shm transport must expose its segments"
+            observations = rng.uniform(size=(7, ENV.observation_size))
+            agents = rng.integers(0, ENV.n_agents, size=7)
+            probs_ref, _ = reference.infer(observations, agents)
+            probs_shard, _ = sharded.infer(observations, agents)
+            assert np.allclose(probs_shard, probs_ref, atol=1e-12)
+
+            # Parent-side sampling: identical streams => identical actions
+            # regardless of worker count.
+            greedy = [False, True] * 3 + [False]
+            actions_ref = reference.act(observations, agents, greedy)[0]
+            actions_shard = sharded.act(observations, agents, greedy)[0]
+            assert np.array_equal(actions_shard, actions_ref)
+
+            # A broadcast reload keeps parity and flips the generation once.
+            reference.load(checkpoints["paths"]["b"])
+            sharded.load(checkpoints["paths"]["b"])
+            assert sharded.generation == 2
+            probs_ref, _ = reference.infer(observations, agents)
+            probs_shard, _ = sharded.infer(observations, agents)
+            assert np.allclose(probs_shard, probs_ref, atol=1e-12)
+        finally:
+            sharded.close()
+            reference.close()
+        # The /dev/shm leak-gate contract: every segment is gone.
+        import os
+        for name in segments:
+            assert not os.path.exists(f"/dev/shm/{name}"), name
+
+    def test_worker_crash_restarts_and_answers(self, checkpoints, rng):
+        sharded = ShardedPolicyEngine(
+            SPEC, checkpoint_path=checkpoints["paths"]["a"], n_workers=2,
+            transport="pipe",
+        )
+        reference = PolicyEngine(SPEC,
+                                 checkpoint_path=checkpoints["paths"]["a"])
+        try:
+            observations = rng.uniform(size=(4, ENV.observation_size))
+            agents = [0, 1, 0, 1]
+            sharded._workers[0].process.kill()
+            sharded._workers[0].process.join(timeout=5.0)
+            probs, _ = sharded.infer(observations, agents)
+            expected, _ = reference.infer(observations, agents)
+            assert np.allclose(probs, expected, atol=1e-12)
+            assert sharded.total_restarts >= 1
+            # The restarted worker reloaded the broadcast checkpoint.
+            assert sharded.ping() == ["pong", "pong"]
+        finally:
+            sharded.close()
+            reference.close()
+
+
+class TestServerHTTP:
+    def test_end_to_end_routes(self, checkpoints, rng):
+        source = checkpoints["frameworks"]["a"]
+        observations = rng.uniform(size=(3, ENV.observation_size))
+        expected = source.actors.rows_probabilities(observations, [0, 1, 0])
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=0, max_batch=8,
+                                   max_wait_us=500)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            await server.start()
+            out = {}
+            try:
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    out["health"] = await client.health()
+                    out["act"] = await client.act(
+                        observations[0], 0, greedy=True
+                    )
+                    out["batch"] = await client.act_batch(
+                        observations, [0, 1, 0], greedy=True,
+                        return_probs=True,
+                    )
+                    for status, call in (
+                        (404, client.request("GET", "/nope")),
+                        (400, client.request(
+                            "POST", "/v1/act", {"agent": 0}
+                        )),
+                        (400, client.request(
+                            "POST", "/v1/act-batch",
+                            {"observations": [[0.0]], "agents": [0, 1],
+                             "greedy": True},
+                        )),
+                    ):
+                        with pytest.raises(ServerError) as excinfo:
+                            await call
+                        assert excinfo.value.status == status
+                    out["stats"] = await client.stats()
+            finally:
+                await server.stop()
+            return out
+
+        out = run(scenario())
+        assert out["health"]["status"] == "ok"
+        assert out["health"]["generation"] == 1
+        assert out["act"]["action"] == int(np.argmax(expected[0]))
+        assert np.allclose(out["act"]["probs"], expected[0], atol=1e-9)
+        assert out["batch"]["actions"] == [
+            int(a) for a in np.argmax(expected, axis=1)
+        ]
+        assert np.allclose(out["batch"]["probs"], expected, atol=1e-9)
+        assert out["stats"]["requests"] >= 3
+        assert out["stats"]["errors"] >= 3  # the provoked 404/400s
+        assert out["stats"]["batcher"]["rows"] >= 4

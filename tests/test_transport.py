@@ -427,6 +427,81 @@ class TestEndToEndTransports:
             assert not os.path.exists(f"/dev/shm/{name}")
 
 
+class TestArrayReplyBlocks:
+    """Generic ``"arrays"`` replies — the serving tier's probability
+    blocks — ride both transports bit-exactly (the shm ring ships them as
+    one array block next to the pickled control payload)."""
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_arrays_roundtrip(self, transport):
+        import multiprocessing
+
+        from repro.marl.parallel.transport import (
+            make_transport,
+            make_worker_endpoint,
+        )
+
+        def echo_worker(connection, info):
+            endpoint = make_worker_endpoint(connection, info)
+            while True:
+                try:
+                    message = endpoint.recv()
+                except (EOFError, OSError):
+                    break
+                if message[0] == "close":
+                    endpoint.send_ok(None)
+                    break
+                endpoint.send_ok(message[1])
+            endpoint.close()
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        context = multiprocessing.get_context("fork")
+        transport_obj = make_transport(transport, slot_bytes=256, n_slots=8)
+        parent_end, child_end = context.Pipe()
+        process = context.Process(
+            target=echo_worker,
+            args=(child_end, transport_obj.worker_info()),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        channel = transport_obj.parent_channel(process, parent_end)
+        try:
+            rng = np.random.default_rng(11)
+            arrays = [
+                rng.normal(size=(3, 4)),
+                np.array([], dtype=np.int64),
+                rng.normal(size=(2, 2, 2)).astype(np.float32),
+                np.asarray(7.5),
+            ]
+            channel.send(("echo", {"arrays": arrays, "generation": 3}))
+            result = channel.recv()
+            assert result["generation"] == 3
+            assert len(result["arrays"]) == len(arrays)
+            for sent, got in zip(arrays, result["arrays"]):
+                assert got.dtype == sent.dtype
+                assert np.array_equal(got, sent)
+
+            # An empty arrays list crosses too (no block published).
+            channel.send(("echo", {"arrays": [], "note": "empty"}))
+            result = channel.recv()
+            assert result["arrays"] == []
+            assert result["note"] == "empty"
+
+            channel.send(("close",))
+            channel.recv()
+        finally:
+            channel.close()
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.kill()
+            transport_obj.close()
+        name = transport_obj.segment_name()
+        if name is not None and os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+
 def test_block_view_close_is_idempotent():
     calls = []
     view = BlockView([np.arange(3)], release=lambda: calls.append(1))
