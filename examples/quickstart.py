@@ -24,6 +24,7 @@ from repro import (
     build_vqc,
     evaluate_random_walk,
 )
+from repro.marl.metrics import progress_printer
 from repro.quantum.gradients import backward
 from repro.viz.ascii_plots import sparkline
 
@@ -161,15 +162,9 @@ def main():
           f"x {env_config.n_agents} agents, "
           f"critic {framework.metadata['critic_parameters']}")
 
-    def progress(record):
-        if record["epoch"] % max(1, args.epochs // 10) == 0:
-            if "critic_loss" in record:
-                extra = f"critic loss {record['critic_loss']:>8.3f}"
-            else:
-                extra = f"best member {record['fitness_max']:>8.2f}"
-            print(f"  epoch {record['epoch']:>4}  "
-                  f"reward {record['total_reward']:>8.2f}  {extra}")
-
+    # One uniform progress line per engine (losses + entropy for MAPG,
+    # fitness dispersion for ES) — the same schema telemetry publishes.
+    progress = progress_printer(every=max(1, args.epochs // 10))
     history = framework.train(callback=progress)
     rewards = history.series("total_reward")
     print(f"reward curve: {sparkline(rewards)}")

@@ -21,6 +21,7 @@ from repro.experiments.fig3 import (
     run_fig3,
 )
 from repro.experiments.io import results_dir, save_json
+from repro.marl.metrics import progress_printer
 from repro.experiments.section4d import format_section4d_report, run_section4d
 from repro.viz.ascii_plots import line_plot
 
@@ -48,14 +49,13 @@ def main():
 
     start = time.time()
     last_banner = [None]
+    print_epoch = progress_printer(every=10, print_fn=lambda line: print(f"  {line}"))
 
     def progress(name, record):
         if last_banner[0] != name:
             print(f"\n--- training {name} ---")
             last_banner[0] = name
-        if record["epoch"] % 10 == 0:
-            print(f"  epoch {record['epoch']:>4}  "
-                  f"reward {record['total_reward']:>8.2f}")
+        print_epoch(record)
 
     result = run_fig3(
         preset=args.preset, seed=args.seed, callback=progress,

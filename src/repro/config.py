@@ -462,6 +462,10 @@ class ServingConfig:
             responses are reproducible for any worker count).
         host: Bind address for the HTTP server.
         port: Bind port (0 picks an ephemeral port; useful for tests).
+        log_requests: Emit one structured JSON access-log line per request
+            at flush time (request id, batch id, queue wait, flush reason).
+            Off by default — the log writes from the event loop, so leave
+            it off when benchmarking latency.
     """
 
     max_batch: int = 32
@@ -473,6 +477,7 @@ class ServingConfig:
     sample_seed: int = 0
     host: str = "127.0.0.1"
     port: int = 8123
+    log_requests: bool = False
 
     _TRANSPORTS = ("auto", "pipe", "shm")
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.envs.vector import make_vector_env
 from repro.marl.evolution import es as _es
 from repro.marl.evolution.collector import PopulationRolloutCollector
@@ -55,7 +56,11 @@ from repro.marl.evolution.population import (
     flat_team_vector,
     load_team_vector,
 )
-from repro.marl.metrics import MetricsHistory
+from repro.marl.metrics import (
+    MetricsHistory,
+    population_fitness_summary,
+    publish_epoch_record,
+)
 from repro.marl.rollout import VectorRolloutCollector
 from repro.marl.trainer import rollout_episode
 
@@ -221,14 +226,17 @@ class ESTrainer:
             if self.sigma == 0.0
             else _es.draw_generation_seeds(self.rng, self.population)
         )
-        episodes, stats = self.collect_generation(seeds)
-        fitness = self.member_fitness(stats)
-        self.base_vector, info = self.optimizer.step(
-            self.base_vector, fitness, seeds
-        )
-        # Keep the live team on the updated mean policy: greedy evaluation,
-        # checkpoints, and a later MAPG fine-tune all read these weights.
-        load_team_vector(self.actors, self.base_vector)
+        with obs.span("trainer.rollout"):
+            episodes, stats = self.collect_generation(seeds)
+        with obs.span("trainer.update"):
+            fitness = self.member_fitness(stats)
+            self.base_vector, info = self.optimizer.step(
+                self.base_vector, fitness, seeds
+            )
+            # Keep the live team on the updated mean policy: greedy
+            # evaluation, checkpoints, and a later MAPG fine-tune all read
+            # these weights.
+            load_team_vector(self.actors, self.base_vector)
 
         self.epoch += 1
         record = {
@@ -241,12 +249,11 @@ class ESTrainer:
             "overflow_ratio": float(
                 np.mean([s["overflow_ratio"] for s in stats])
             ),
-            "fitness_mean": float(fitness.mean()),
-            "fitness_max": float(fitness.max()),
-            "fitness_std": float(fitness.std()),
             "grad_norm": info["grad_norm"],
         }
+        record.update(population_fitness_summary(fitness))
         self.history.append(record)
+        publish_epoch_record(record)
         return record
 
     def train(self, n_epochs=None, callback=None):

@@ -12,12 +12,20 @@ so a random policy scores 0 % and a perfect policy 100 %; the paper reports
 
 from __future__ import annotations
 
+import numbers
+
 import numpy as np
+
+from repro import obs
 
 __all__ = [
     "achievability",
     "MetricsHistory",
     "exponential_moving_average",
+    "format_epoch_summary",
+    "population_fitness_summary",
+    "progress_printer",
+    "publish_epoch_record",
     "rolling_mean",
 ]
 
@@ -58,6 +66,89 @@ def rolling_mean(series, window):
         start = max(0, i - window + 1)
         out[i] = series[start : i + 1].mean()
     return out
+
+
+def population_fitness_summary(fitness):
+    """Per-generation fitness dispersion stats for the ES engine.
+
+    One definition for the trainer record, telemetry gauges, and plots —
+    the dispersion view the ES-for-QRL line leans on to read search
+    progress (collapsing std with flat mean = premature convergence).
+    """
+    fitness = np.asarray(fitness, dtype=np.float64)
+    if fitness.size == 0:
+        raise ValueError("fitness must be non-empty")
+    return {
+        "fitness_mean": float(fitness.mean()),
+        "fitness_max": float(fitness.max()),
+        "fitness_min": float(fitness.min()),
+        "fitness_std": float(fitness.std()),
+    }
+
+
+def publish_epoch_record(record, prefix="train"):
+    """Mirror one epoch record into telemetry gauges (no-op when disabled).
+
+    Both trainers call this after appending to their history, so
+    ``train.total_reward``, ``train.critic_loss`` / ``train.fitness_mean``
+    etc. land in the same registry namespace regardless of engine.  Values
+    are copied into gauges — the record itself is never mutated and never
+    receives timing data, keeping cross-engine bit-identity intact.
+    """
+    if not obs.enabled():
+        return
+    obs.counter(f"{prefix}.epochs").inc()
+    for key, value in record.items():
+        if isinstance(value, numbers.Real):
+            obs.gauge(f"{prefix}.{key}").set(float(value))
+
+
+def format_epoch_summary(record):
+    """One uniform progress line from either trainer's epoch record.
+
+    The shared schema both engines report (epoch, reward, overflow) comes
+    first; the engine-specific objective block (critic/actor losses and
+    policy entropy for MAPG, fitness dispersion for ES) follows.  Examples
+    and experiment runners print this instead of hand-rolled formats.
+    """
+    parts = [
+        f"epoch {record['epoch']:>4}",
+        f"reward {record['total_reward']:>8.3f}",
+        f"overflow {record['overflow_ratio']:.3f}",
+    ]
+    if "critic_loss" in record:
+        parts.append(f"critic {record['critic_loss']:.4f}")
+        parts.append(f"actor {record['actor_loss']:.4f}")
+        if "policy_entropy" in record:
+            parts.append(f"entropy {record['policy_entropy']:.3f}")
+    if "fitness_mean" in record:
+        parts.append(
+            f"fitness {record['fitness_mean']:.3f}"
+            f"/{record['fitness_max']:.3f}"
+            f" (std {record['fitness_std']:.3f})"
+        )
+    if "grad_norm" in record:
+        parts.append(f"|g| {record['grad_norm']:.4f}")
+    elif "actor_grad_norm" in record:
+        parts.append(f"|g| {record['actor_grad_norm']:.4f}")
+    return " | ".join(parts)
+
+
+def progress_printer(every=10, print_fn=print):
+    """A ``train(callback=...)`` printing :func:`format_epoch_summary`.
+
+    Prints epoch 1 and then every ``every``-th epoch — the telemetry-backed
+    replacement for the ad-hoc progress closures the examples used to
+    hand-roll per trainer.
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every!r}")
+
+    def callback(record):
+        if record["epoch"] == 1 or record["epoch"] % every == 0:
+            print_fn(format_epoch_summary(record))
+
+    return callback
 
 
 class MetricsHistory:

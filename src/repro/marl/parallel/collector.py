@@ -47,6 +47,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.envs.vector import _spawn_row_rngs
 from repro.marl.parallel.transport import (
     DEFAULT_N_SLOTS,
@@ -355,6 +356,10 @@ class ShardedRolloutCollector:
         rounds = -(-n_episodes // self.n_envs)  # ceil division
         action_state = get_rng_state(rng)
         weight_states = self._actor_weight_states()
+        # Captured once per collect, like the rng state: workers mirror the
+        # parent's telemetry flag for this round and attach their registry
+        # snapshots to the reply when it is on.
+        telemetry = obs.enabled()
 
         def command_for(worker):
             return (
@@ -363,6 +368,7 @@ class ShardedRolloutCollector:
                 greedy,
                 action_state,
                 weight_states,
+                telemetry,
             )
 
         replies = self._exchange(command_for)
@@ -380,6 +386,14 @@ class ShardedRolloutCollector:
         self.env.rng.bit_generator.state = replies[0]["row_rngs"][0]
         for worker, reply in zip(self._workers, replies):
             worker.checkpoint = reply["checkpoint"]
+        if telemetry:
+            # Merge in worker-index order — counters and histogram buckets
+            # add, gauges last-write-wins, so the merged registry is
+            # deterministic for a fixed worker layout.
+            for reply in replies:
+                snap = reply.get("telemetry")
+                if snap:
+                    obs.merge_snapshot(snap)
 
         # Reassemble in the in-process completion order: episodes finish in
         # rounds (all copies share the time-limit boundary), rows ascending

@@ -47,6 +47,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import obs
 from repro.marl.buffer import Episode
 
 __all__ = [
@@ -306,6 +307,16 @@ class ShmRing:
         while True:
             result = predicate()
             if result is not None:
+                if spins and obs.enabled():
+                    # Writer-side stalls are backpressure (ring full);
+                    # reader-side stalls are ordinary recv waits.
+                    label = (
+                        "shm.backpressure"
+                        if what == "free ring slots"
+                        else "shm.recv_wait"
+                    )
+                    obs.counter(f"{label}.events").inc()
+                    obs.counter(f"{label}.spins").inc(spins)
                 return result
             if abort_check is not None:
                 abort_check()
@@ -379,6 +390,12 @@ class ShmRing:
         """
         arrays = [np.asarray(a) for a in arrays]
         table, offsets, payload_len = pack_block_table(arrays)
+        if obs.enabled():
+            obs.counter("shm.blocks").inc()
+            obs.counter("shm.payload_bytes").inc(payload_len)
+            obs.histogram(
+                "shm.ring_occupancy", min_edge=1.0, n_buckets=12
+            ).observe(self.pending_slots())
         # The table region is padded so the payload starts 16-byte aligned
         # *within the segment* (frame bases are 64-aligned), keeping the
         # zero-copy views aligned for any numeric dtype.

@@ -37,6 +37,7 @@ import traceback
 
 import numpy as np
 
+from repro import obs
 from repro.envs.vector import make_vector_env
 from repro.marl.actors import categorical_from_draws
 from repro.marl.rollout import VectorRolloutCollector
@@ -138,8 +139,17 @@ class _WorkerState:
             if state is not None:
                 actor.load_state_dict(state)
 
-    def collect(self, quota, greedy, action_rng_state, weight_states):
-        """Run one collect round on the shard; returns the reply dict."""
+    def collect(self, quota, greedy, action_rng_state, weight_states,
+                telemetry=False):
+        """Run one collect round on the shard; returns the reply dict.
+
+        ``telemetry`` mirrors the parent's obs flag into this process for
+        the duration of the round; when set, the worker's registry snapshot
+        (reset afterwards, so rounds never double-count) rides the reply's
+        control payload back for deterministic parent-side merging.
+        """
+        if obs.enabled() != bool(telemetry):
+            obs.set_enabled(bool(telemetry))
         self._load_weights(weight_states)
         rng = rng_from_state(action_rng_state)
         episodes, stats = self.collector.collect(quota, rng, greedy=greedy)
@@ -147,13 +157,16 @@ class _WorkerState:
             "vector_env": self.vector_env,
             "carry": self.collector.carry_state(),
         }
-        return {
+        reply = {
             "episodes": episodes,
             "stats": stats,
             "action_rng": get_rng_state(rng),
             "row_rngs": [get_rng_state(r) for r in self.vector_env.rngs],
             "checkpoint": checkpoint,
         }
+        if telemetry:
+            reply["telemetry"] = obs.snapshot(reset=True)
+        return reply
 
 
 def worker_main(connection, transport_info=None):

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.marl.buffer import Episode
 
 __all__ = ["VectorRolloutCollector"]
@@ -131,7 +132,9 @@ class VectorRolloutCollector:
         overflow_sums = np.zeros(n)
         steps = np.zeros(n, dtype=np.int64)
         completed, completed_stats = [], []
+        lockstep_rounds = 0
         while len(completed) < n_episodes:
+            lockstep_rounds += 1
             actions = self.actors.act_batch(
                 self._observations, rng, greedy=greedy
             )
@@ -167,6 +170,14 @@ class VectorRolloutCollector:
                     self._fresh[i] = True
             self._observations = result.observations
             self._states = result.states
+        # Boundary-level accounting: the per-step quantities are already
+        # tracked by the loop, so telemetry costs one publish per collect,
+        # not per step.  Inside a sharded worker these counters land in the
+        # worker's local registry and ride the snapshot reply to the parent.
+        if obs.enabled():
+            obs.counter("rollout.env_steps").inc(lockstep_rounds)
+            obs.counter("rollout.env_rows").inc(lockstep_rounds * n)
+            obs.counter("rollout.episodes").inc(len(completed))
         return completed[:n_episodes], completed_stats[:n_episodes]
 
     def __repr__(self):

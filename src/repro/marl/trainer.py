@@ -30,14 +30,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.envs.vector import make_vector_env
 from repro.marl import mapg
 from repro.marl.buffer import Episode, RolloutBuffer
 from repro.marl.critics import paired_critic_values
-from repro.marl.metrics import MetricsHistory
+from repro.marl.metrics import MetricsHistory, publish_epoch_record
 from repro.marl.parallel import ShardedRolloutCollector
 from repro.marl.rollout import VectorRolloutCollector
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import Adam, clip_grad_norm, gradient_norm
 
 __all__ = ["CTDETrainer", "rollout_episode"]
 
@@ -74,6 +75,10 @@ def rollout_episode(env, actor_group, rng, greedy=False):
         observations, state = result.observations, result.state
         done = result.done
     episode.finish()
+    if obs.enabled():
+        obs.counter("rollout.env_steps").inc(steps)
+        obs.counter("rollout.env_rows").inc(steps)
+        obs.counter("rollout.episodes").inc()
     stats = {
         "total_reward": episode.total_reward,
         "length": steps,
@@ -220,60 +225,94 @@ class CTDETrainer:
     # -- updates ----------------------------------------------------------------
 
     def update(self, batch):
-        """One gradient step on critic and actors from a transition batch."""
+        """One gradient step on critic and actors from a transition batch.
+
+        Besides the losses, the returned stats carry barren-plateau
+        diagnostics: the pre-clip gradient norms of critic and actor team
+        and the mean policy entropy.  All are pure functions of the batch,
+        so they are bit-identical across collection engines.
+        """
         cfg = self.config
 
         # Critic forward (differentiable) + frozen bootstrap values.  On
         # quantum critic pairs both forwards share one stacked circuit
         # evaluation over the per-sample weight axis (see
         # repro.marl.critics.paired_critic_values).
-        values, next_values = paired_critic_values(
-            self.critic, self.target_critic, batch.states, batch.next_states
-        )
-        targets = mapg.td_targets(batch.rewards, next_values, batch.dones, cfg.gamma)
-        advantages = mapg.td_errors(targets, values.data)
+        with obs.span("trainer.critic"):
+            values, next_values = paired_critic_values(
+                self.critic, self.target_critic, batch.states,
+                batch.next_states,
+            )
+            targets = mapg.td_targets(
+                batch.rewards, next_values, batch.dones, cfg.gamma
+            )
+            advantages = mapg.td_errors(targets, values.data)
 
-        critic_loss = mapg.critic_loss(values, targets)
-        self.critic_optimizer.zero_grad()
-        critic_loss.backward()
-        if cfg.grad_clip is not None:
-            clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
-        self.critic_optimizer.step()
+            critic_loss = mapg.critic_loss(values, targets)
+            self.critic_optimizer.zero_grad()
+            critic_loss.backward()
+            if cfg.grad_clip is not None:
+                critic_grad_norm = clip_grad_norm(
+                    self.critic.parameters(), cfg.grad_clip
+                )
+            else:
+                critic_grad_norm = gradient_norm(self.critic.parameters())
+            self.critic_optimizer.step()
 
         actor_loss_value = 0.0
+        actor_grad_norm = 0.0
+        policy_entropy = 0.0
         if self.actor_optimizer is not None:
-            # One stacked policy evaluation for the whole team (a single
-            # batched circuit call + adjoint sweep on quantum groups) instead
-            # of sequential per-agent forwards.
-            log_probs = self.actors.stacked_log_policies(batch.observations)
-            total_loss = mapg.team_actor_loss(
-                log_probs, batch.actions, advantages,
-                entropy_coef=cfg.entropy_coef,
-            )
-            self.actor_optimizer.zero_grad()
-            total_loss.backward()
-            if cfg.grad_clip is not None:
-                clip_grad_norm(self.actors.parameters(), cfg.grad_clip)
-            self.actor_optimizer.step()
-            actor_loss_value = total_loss.item()
+            with obs.span("trainer.actor"):
+                # One stacked policy evaluation for the whole team (a single
+                # batched circuit call + adjoint sweep on quantum groups)
+                # instead of sequential per-agent forwards.
+                log_probs = self.actors.stacked_log_policies(
+                    batch.observations
+                )
+                flat = np.asarray(log_probs.data, dtype=np.float64).reshape(
+                    -1, log_probs.shape[-1]
+                )
+                policy_entropy = float(
+                    -np.mean(np.sum(np.exp(flat) * flat, axis=-1))
+                )
+                total_loss = mapg.team_actor_loss(
+                    log_probs, batch.actions, advantages,
+                    entropy_coef=cfg.entropy_coef,
+                )
+                self.actor_optimizer.zero_grad()
+                total_loss.backward()
+                if cfg.grad_clip is not None:
+                    actor_grad_norm = clip_grad_norm(
+                        self.actors.parameters(), cfg.grad_clip
+                    )
+                else:
+                    actor_grad_norm = gradient_norm(self.actors.parameters())
+                self.actor_optimizer.step()
+                actor_loss_value = total_loss.item()
 
         return {
             "critic_loss": critic_loss.item(),
             "actor_loss": actor_loss_value,
             "mean_abs_td_error": float(np.mean(np.abs(advantages))),
             "mean_value": float(np.mean(values.data)),
+            "critic_grad_norm": float(critic_grad_norm),
+            "actor_grad_norm": float(actor_grad_norm),
+            "policy_entropy": policy_entropy,
         }
 
     def train_epoch(self):
         """Collect one batch of episodes, update once, record metrics."""
         cfg = self.config
         self.buffer.clear()
-        episodes, episode_stats = self.collect_episodes(
-            cfg.episodes_per_epoch, greedy=False
-        )
+        with obs.span("trainer.rollout"):
+            episodes, episode_stats = self.collect_episodes(
+                cfg.episodes_per_epoch, greedy=False
+            )
         self.buffer.add_episodes(episodes)
 
-        update_stats = self.update(self.buffer.batch())
+        with obs.span("trainer.update"):
+            update_stats = self.update(self.buffer.batch())
 
         self.epoch += 1
         if self.epoch % cfg.target_update_period == 0:
@@ -295,6 +334,7 @@ class CTDETrainer:
         }
         record.update(update_stats)
         self.history.append(record)
+        publish_epoch_record(record)
         return record
 
     def train(self, n_epochs=None, callback=None):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "gradient_norm"]
 
 
 class Optimizer:
@@ -162,3 +162,14 @@ def clip_grad_norm(parameters, max_norm):
         for p in parameters:
             p.grad *= scale
     return total
+def gradient_norm(parameters):
+    """Global L2 norm of the current gradients (no clipping).
+
+    The telemetry-side companion of :func:`clip_grad_norm` for runs without
+    a clip bound; same accounting (parameters without gradients are
+    skipped, 0.0 when none carry one).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    return np.sqrt(sum(float(np.sum(p.grad**2)) for p in parameters))

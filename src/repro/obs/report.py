@@ -1,0 +1,163 @@
+"""Summarise a telemetry JSONL trace into a timing/counter table.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.report trace.jsonl
+
+where ``trace.jsonl`` was produced by running with ``REPRO_OBS=1
+REPRO_OBS_EXPORT=trace.jsonl`` (or :func:`repro.obs.set_export_path`).
+Span events aggregate into a per-name table — count, total ms, mean µs,
+exact p50/p99 over the individual durations, and each span's share of the
+summed span time — and ``snapshot`` events merge into one registry whose
+counters, gauges, and histogram percentiles print below the table.
+
+The module is import-light on purpose (stdlib only), so the CLI works in
+any environment the library does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.obs.registry import MetricsRegistry, histogram_quantile
+
+__all__ = ["summarize", "format_report", "main"]
+
+
+def _percentile(sorted_values, q):
+    """Exact nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))  # ceil
+    rank = min(rank, len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def summarize(path):
+    """Aggregate one trace file; returns a plain-dict summary.
+
+    ``{"spans": {name: {count, total_us, mean_us, p50_us, p99_us}},
+    "counters": {...}, "gauges": {...}, "histograms": {name: {count,
+    p50, p99, ...}}, "events": n, "skipped": n}``.
+    """
+    durations = {}
+    registry = MetricsRegistry()
+    events = skipped = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            events += 1
+            kind = event.get("kind")
+            if kind == "span":
+                durations.setdefault(event["name"], []).append(
+                    float(event["dur_us"])
+                )
+            elif kind == "snapshot":
+                registry.merge(event.get("data", {}))
+            else:
+                skipped += 1
+
+    spans = {}
+    for name, values in sorted(durations.items()):
+        values.sort()
+        total = sum(values)
+        spans[name] = {
+            "count": len(values),
+            "total_us": total,
+            "mean_us": total / len(values),
+            "p50_us": _percentile(values, 0.50),
+            "p99_us": _percentile(values, 0.99),
+        }
+
+    snap = registry.snapshot()
+    histograms = {}
+    for name, state in snap["histograms"].items():
+        histograms[name] = {
+            "count": state["count"],
+            "sum": state["sum"],
+            "min": state["min"],
+            "max": state["max"],
+            "p50": histogram_quantile(state, 0.50),
+            "p99": histogram_quantile(state, 0.99),
+        }
+    return {
+        "spans": spans,
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "histograms": histograms,
+        "events": events,
+        "skipped": skipped,
+    }
+
+
+def format_report(summary):
+    """Render a summary as the human-facing table."""
+    lines = []
+    spans = summary["spans"]
+    if spans:
+        grand_total = sum(s["total_us"] for s in spans.values()) or 1.0
+        width = max(len(name) for name in spans)
+        lines.append(
+            f"{'span':<{width}}  {'count':>7}  {'total ms':>10}  "
+            f"{'mean us':>10}  {'p50 us':>10}  {'p99 us':>10}  {'share':>6}"
+        )
+        ordered = sorted(
+            spans.items(), key=lambda item: item[1]["total_us"], reverse=True
+        )
+        for name, stats in ordered:
+            lines.append(
+                f"{name:<{width}}  {stats['count']:>7}  "
+                f"{stats['total_us'] / 1000.0:>10.2f}  "
+                f"{stats['mean_us']:>10.1f}  {stats['p50_us']:>10.1f}  "
+                f"{stats['p99_us']:>10.1f}  "
+                f"{stats['total_us'] / grand_total:>6.1%}"
+            )
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(summary["counters"].items()):
+            lines.append(f"  {name} = {value}")
+    if summary["gauges"]:
+        lines.append("")
+        lines.append("gauges:")
+        for name, value in sorted(summary["gauges"].items()):
+            lines.append(f"  {name} = {value:g}")
+    if summary["histograms"]:
+        lines.append("")
+        lines.append("histograms:")
+        for name, stats in sorted(summary["histograms"].items()):
+            lines.append(
+                f"  {name}: count={stats['count']} p50={stats['p50']:.1f} "
+                f"p99={stats['p99']:.1f} max={stats['max']}"
+            )
+    if not lines:
+        lines.append("(no telemetry events)")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="JSONL trace written via REPRO_OBS_EXPORT")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of a table")
+    args = parser.parse_args(argv)
+    summary = summarize(args.path)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_report(summary))
+        if summary["skipped"]:
+            print(f"\n({summary['skipped']} unparseable lines skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    main()

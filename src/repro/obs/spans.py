@@ -1,0 +1,148 @@
+"""Span tracing: monotonic-clock timers over the metrics registry.
+
+``with span("trainer.update"):`` times a block on
+:func:`time.perf_counter_ns` and records three metrics under a naming
+convention the report CLI understands:
+
+- ``span.<name>.calls`` — counter of completed spans;
+- ``span.<name>.total_ns`` — counter of summed wall time;
+- ``span.<name>.us`` — log-bucket histogram of per-span durations
+  (microseconds), for p50/p99.
+
+Because spans are plain counters and histograms, worker-side spans ride the
+same snapshot/merge path as every other metric — rollout-vs-update time
+aggregates across processes with no extra machinery.
+
+While telemetry is disabled :func:`span` returns a shared no-op context
+manager — no clock read, no allocation beyond the call itself.
+
+Optionally, completed spans are appended to a JSONL trace file
+(:func:`set_export_path`, or the ``REPRO_OBS_EXPORT`` environment
+variable): one ``{"kind": "span", "name": ..., "dur_us": ..., "pid": ...}``
+object per line, plus whole-registry ``{"kind": "snapshot", ...}`` events
+from :func:`export_snapshot`.  ``python -m repro.obs.report trace.jsonl``
+summarises such a file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.obs import registry as _registry
+
+__all__ = [
+    "close_export",
+    "export_event",
+    "export_snapshot",
+    "set_export_path",
+    "span",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed block; created per use (spans may nest and overlap)."""
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name):
+        self.name = name
+        self._start = 0
+
+    def __enter__(self):
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc_value, tb):
+        duration_ns = time.perf_counter_ns() - self._start
+        # Re-check: telemetry may have been disabled mid-span (the worker
+        # toggle); record only when still on, so snapshots stay consistent.
+        if _registry.enabled():
+            registry = _registry.global_registry()
+            registry.counter(f"span.{self.name}.calls").inc()
+            registry.counter(f"span.{self.name}.total_ns").inc(duration_ns)
+            registry.histogram(f"span.{self.name}.us").observe(
+                duration_ns / 1000.0
+            )
+            if _EXPORT_PATH is not None:
+                export_event({
+                    "kind": "span",
+                    "name": self.name,
+                    "dur_us": duration_ns / 1000.0,
+                    "pid": os.getpid(),
+                })
+        return False
+
+
+def span(name):
+    """A context manager timing ``name`` — no-op while telemetry is off."""
+    return Span(name) if _registry.enabled() else _NULL_SPAN
+
+
+# ---------------------------------------------------------------------------
+# JSONL export
+# ---------------------------------------------------------------------------
+
+_EXPORT_LOCK = threading.Lock()
+_EXPORT_PATH = os.environ.get("REPRO_OBS_EXPORT") or None
+_EXPORT_FILE = None
+
+
+def set_export_path(path):
+    """Point the JSONL trace sink at ``path`` (None closes and disables)."""
+    global _EXPORT_PATH, _EXPORT_FILE
+    with _EXPORT_LOCK:
+        if _EXPORT_FILE is not None:
+            _EXPORT_FILE.close()
+            _EXPORT_FILE = None
+        _EXPORT_PATH = path
+
+
+def close_export():
+    """Flush and close the trace sink, keeping the path configured."""
+    global _EXPORT_FILE
+    with _EXPORT_LOCK:
+        if _EXPORT_FILE is not None:
+            _EXPORT_FILE.close()
+            _EXPORT_FILE = None
+
+
+def export_event(event):
+    """Append one JSON object to the trace file (no-op without a path)."""
+    global _EXPORT_FILE
+    if _EXPORT_PATH is None:
+        return
+    line = json.dumps(event, sort_keys=True)
+    with _EXPORT_LOCK:
+        if _EXPORT_FILE is None:
+            if _EXPORT_PATH is None:  # closed while we serialised
+                return
+            _EXPORT_FILE = open(_EXPORT_PATH, "a")
+        _EXPORT_FILE.write(line + "\n")
+        _EXPORT_FILE.flush()
+
+
+def export_snapshot(reset=False):
+    """Write the whole registry as one ``snapshot`` trace event."""
+    export_event({
+        "kind": "snapshot",
+        "pid": os.getpid(),
+        "data": _registry.snapshot(reset=reset),
+    })

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
 from repro.quantum.backends import StatevectorBackend, _normalise_run_args
@@ -81,7 +82,11 @@ class CompiledCircuit:
         """
         key = _weights_key(weights)
         if key == self._cache_key:
+            if obs.enabled():
+                obs.counter("program.suffix_hit").inc()
             return self._cached_unitary
+        if obs.enabled():
+            obs.counter("program.suffix_build").inc()
         n = self.circuit.n_qubits
         dim = 2**n
         weights_arr = None if weights is None else np.asarray(weights)

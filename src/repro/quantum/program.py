@@ -50,6 +50,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro import obs
 from repro.quantum import statevector as _sv
 
 __all__ = [
@@ -630,7 +631,11 @@ class _FusedWeightStep:
     def matrix(self, weights, key):
         """Fused unitary for a 1-D weight vector (2-D goes through apply)."""
         if key == self._key:
+            if obs.enabled():
+                obs.counter("program.fused_hit").inc()
             return self._matrix
+        if obs.enabled():
+            obs.counter("program.fused_build").inc()
         total = None
         for part in self._parts:
             if part[0] == "const":
@@ -731,6 +736,9 @@ class CircuitProgram:
         self.operations = tuple(operations)
         self.op_plans = [_compile_op(op, self.n_qubits) for op in self.operations]
         self.steps = self._build_steps()
+        # Frozen at compile time so the telemetry publish in apply() is a
+        # tuple walk, not a per-call histogram rebuild.
+        self._kind_counts = tuple(sorted(self.kernel_counts().items()))
         self._fused_weights = any(
             isinstance(step, _FusedWeightStep) for step in self.steps
         )
@@ -836,6 +844,12 @@ class CircuitProgram:
         key = None
         if self._fused_weights and weights_arr is not None:
             key = weights_key(weights_arr)
+        if obs.enabled():
+            obs.counter("program.evals").inc()
+            obs.counter("program.rows").inc(psi.shape[0])
+            obs.counter("program.kernel_dispatches").inc(len(self.steps))
+            for kind, count in self._kind_counts:
+                obs.counter(f"program.kernels.{kind}").inc(count)
         for step in self.steps:
             psi = step.apply(psi, inputs, weights_arr, key)
         return psi
@@ -907,7 +921,11 @@ def compile_program(circuit):
         if len(snapshot) == len(ops) and all(
             a is b for a, b in zip(snapshot, ops)
         ):
+            if obs.enabled():
+                obs.counter("program.cache_hit").inc()
             return program
+    if obs.enabled():
+        obs.counter("program.compile").inc()
     program = CircuitProgram(circuit.n_qubits, circuit.operations)
     try:
         ref = weakref.ref(circuit, lambda _r, _k=key: _PROGRAM_CACHE.pop(_k, None))

@@ -25,6 +25,8 @@ from __future__ import annotations
 import asyncio
 import time
 
+from repro import obs
+
 __all__ = ["MicroBatcher", "OverloadedError"]
 
 
@@ -35,14 +37,17 @@ class OverloadedError(RuntimeError):
 class _Entry:
     """One submitted request group and the future its caller awaits."""
 
-    __slots__ = ("observations", "agents", "greedy", "future", "enqueued_at")
+    __slots__ = ("observations", "agents", "greedy", "future", "enqueued_at",
+                 "meta")
 
-    def __init__(self, observations, agents, greedy, future, enqueued_at):
+    def __init__(self, observations, agents, greedy, future, enqueued_at,
+                 meta=None):
         self.observations = observations
         self.agents = agents
         self.greedy = greedy
         self.future = future
         self.enqueued_at = enqueued_at
+        self.meta = meta
 
 
 class MicroBatcher:
@@ -57,18 +62,25 @@ class MicroBatcher:
         max_wait_us: Longest the oldest queued row waits before a flush.
         max_pending: Queued-row bound; beyond it submit() raises
             :class:`OverloadedError`.  0 means unbounded.
+        flush_observer: Optional callable invoked after every successful
+            flush with ``(batch_id, trigger, entries, generation)`` where
+            ``entries`` is ``[(meta, rows, queue_wait_us), ...]`` in queue
+            order — the server's structured access log hangs off this.
     """
 
-    def __init__(self, engine, max_batch=32, max_wait_us=2000, max_pending=0):
+    def __init__(self, engine, max_batch=32, max_wait_us=2000, max_pending=0,
+                 flush_observer=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_wait = max_wait_us / 1e6
         self.max_pending = int(max_pending)
+        self.flush_observer = flush_observer
         self._queue = []
         self._pending_rows = 0
         self._timer = None
+        self._batch_seq = 0
         self.stats = {
             "requests": 0,
             "rows": 0,
@@ -85,16 +97,19 @@ class MicroBatcher:
         """Rows currently queued (not yet flushed)."""
         return self._pending_rows
 
-    async def submit(self, observations, agents, greedy):
+    async def submit(self, observations, agents, greedy, meta=None):
         """Queue one request group; returns ``(actions, probs, generation)``.
 
         ``observations`` is ``(k, obs_size)``, ``agents`` and ``greedy``
         are length ``k`` — a group is typically one request (k=1) but the
-        batch endpoint submits many rows atomically.
+        batch endpoint submits many rows atomically.  ``meta`` is an opaque
+        caller tag handed back through ``flush_observer``.
         """
         rows = len(observations)
         if self.max_pending and self._pending_rows + rows > self.max_pending:
             self.stats["rejected"] += 1
+            if obs.enabled():
+                obs.counter("serving.rejected").inc()
             raise OverloadedError(
                 f"{self._pending_rows} rows pending, bound is "
                 f"{self.max_pending}"
@@ -102,7 +117,7 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         entry = _Entry(
             observations, agents, greedy, loop.create_future(),
-            time.perf_counter(),
+            time.perf_counter(), meta,
         )
         self._queue.append(entry)
         self._pending_rows += rows
@@ -156,6 +171,34 @@ class MicroBatcher:
             self.stats["max_batch_seen"] = max(
                 self.stats["max_batch_seen"], rows
             )
+            self._batch_seq += 1
+            telemetry = obs.enabled()
+            if telemetry or self.flush_observer is not None:
+                now = time.perf_counter()
+                waits = [
+                    (entry, (now - entry.enqueued_at) * 1e6)
+                    for entry in taken
+                ]
+                if telemetry:
+                    obs.counter(f"serving.flush.{trigger}").inc()
+                    obs.histogram(
+                        "serving.batch_rows", min_edge=1.0, n_buckets=12
+                    ).observe(rows)
+                    wait_hist = obs.histogram(
+                        "serving.queue_wait_us", min_edge=1.0, n_buckets=32
+                    )
+                    for _, wait_us in waits:
+                        wait_hist.observe(wait_us)
+                if self.flush_observer is not None:
+                    self.flush_observer(
+                        self._batch_seq,
+                        trigger,
+                        [
+                            (e.meta, len(e.observations), wait_us)
+                            for e, wait_us in waits
+                        ],
+                        generation,
+                    )
             offset = 0
             for entry in taken:
                 k = len(entry.observations)

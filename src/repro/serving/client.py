@@ -122,6 +122,9 @@ class AsyncServingClient:
     async def stats(self):
         return await self.request("GET", "/v1/stats")
 
+    async def metrics(self):
+        return await self.request("GET", "/metrics")
+
 
 class ServingClient:
     """Synchronous convenience client over ``http.client``."""
@@ -174,6 +177,9 @@ class ServingClient:
 
     def stats(self):
         return self.request("GET", "/v1/stats")
+
+    def metrics(self):
+        return self.request("GET", "/metrics")
 
     def close(self):
         self.connection.close()

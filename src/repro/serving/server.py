@@ -9,6 +9,13 @@ constraint) over the micro-batcher:
   [[...], ...], "agents": [...], "greedy": false}``.
 - ``GET /healthz`` — liveness + the serving generation.
 - ``GET /v1/stats`` — batcher histogram, reload counters, request totals.
+- ``GET /metrics`` — the telemetry view (``docs/observability.md``):
+  batch-occupancy histogram, queue-wait p50/p99, flush-reason counters,
+  reload counts.  The server enables ``repro.obs`` for its lifetime.
+
+With ``--log-requests`` every request additionally emits one structured
+JSON access-log line at flush time (request id, batch id, queue-wait µs,
+flush reason) to stderr.
 
 Connections are keep-alive; each request parks on the batcher until its
 micro-batch flushes, so thousands of idle connections cost only their
@@ -23,9 +30,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import sys
 
 import numpy as np
 
+from repro import obs
 from repro.config import ServingConfig
 from repro.marl.checkpoint import checkpoint_info
 from repro.serving.batcher import MicroBatcher, OverloadedError
@@ -110,15 +119,23 @@ class PolicyServer:
                 self.config, checkpoint_path,
             )
         self.engine = engine
+        # Swappable sink for the structured access log (tests point it at a
+        # StringIO); one JSON line per request, written at flush time.
+        self.access_log_stream = sys.stderr
         self.batcher = MicroBatcher(
             engine,
             max_batch=self.config.max_batch,
             max_wait_us=self.config.max_wait_us,
             max_pending=self.config.max_pending,
+            flush_observer=(
+                self._log_batch if self.config.log_requests else None
+            ),
         )
         self.watcher = None
         self._server = None
         self._loop = None
+        self._obs_prev = None
+        self._request_seq = 0
         self.request_count = 0
         self.error_count = 0
 
@@ -126,6 +143,10 @@ class PolicyServer:
 
     async def start(self):
         """Bind the socket and start the reload watcher; returns self."""
+        # The serving tier runs with telemetry on for its lifetime — the
+        # /metrics surface is part of its contract.  The previous flag is
+        # restored on stop() so embedding tests don't leak the enable.
+        self._obs_prev = obs.set_enabled(True)
         self._loop = asyncio.get_running_loop()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -163,6 +184,9 @@ class PolicyServer:
             await self._server.wait_closed()
             self._server = None
         self.engine.close()
+        if self._obs_prev is not None:
+            obs.set_enabled(self._obs_prev)
+            self._obs_prev = None
 
     async def __aenter__(self):
         return await self.start()
@@ -236,7 +260,30 @@ class PolicyServer:
             return 200, self._health()
         if method == "GET" and path == "/v1/stats":
             return 200, self._stats()
+        if method == "GET" and path == "/metrics":
+            return 200, self._metrics()
         return 404, {"error": f"no route for {method} {path}"}
+
+    def _next_meta(self):
+        """Access-log tag for one request group (None when logging is off)."""
+        if not self.config.log_requests:
+            return None
+        self._request_seq += 1
+        return {"request_id": self._request_seq}
+
+    def _log_batch(self, batch_id, trigger, entries, generation):
+        """Flush-observer callback: one JSON line per request in the batch."""
+        for meta, rows, wait_us in entries:
+            line = {
+                "event": "request",
+                "request_id": None if meta is None else meta["request_id"],
+                "batch_id": batch_id,
+                "rows": rows,
+                "queue_wait_us": round(wait_us, 1),
+                "flush": trigger,
+                "generation": generation,
+            }
+            print(json.dumps(line), file=self.access_log_stream, flush=True)
 
     async def _act(self, body):
         payload = json.loads(body)
@@ -246,7 +293,7 @@ class PolicyServer:
         agent = int(payload["agent"])
         greedy = bool(payload.get("greedy", False))
         actions, probs, generation = await self.batcher.submit(
-            observation[None], [agent], [greedy]
+            observation[None], [agent], [greedy], meta=self._next_meta()
         )
         return 200, {
             "action": int(actions[0]),
@@ -270,7 +317,7 @@ class PolicyServer:
                 "observations, agents, and greedy must agree in length"
             )
         actions, probs, generation = await self.batcher.submit(
-            observations, agents, greedy
+            observations, agents, greedy, meta=self._next_meta()
         )
         document = {
             "actions": [int(a) for a in actions],
@@ -308,6 +355,60 @@ class PolicyServer:
             document["worker_restarts"] = restarts
         return document
 
+    def _metrics(self):
+        """The telemetry document behind ``GET /metrics``.
+
+        Built from the global ``repro.obs`` registry (enabled for the
+        server's lifetime), so it also surfaces whatever the engine layers
+        below record — program cache hit rates, shm backpressure — next to
+        the serving tier's own histograms.
+        """
+        snap = obs.snapshot()
+        counters = snap["counters"]
+        histograms = snap["histograms"]
+
+        def hist_doc(name):
+            state = histograms.get(name)
+            if state is None:
+                return {"count": 0}
+            return {
+                "count": state["count"],
+                "sum": state["sum"],
+                "min": state["min"],
+                "max": state["max"],
+                "edges": state["edges"],
+                "counts": state["counts"],
+                "p50": obs.histogram_quantile(state, 0.5),
+                "p99": obs.histogram_quantile(state, 0.99),
+            }
+
+        document = {
+            "telemetry_enabled": obs.enabled(),
+            "requests": self.request_count,
+            "errors": self.error_count,
+            "generation": self.engine.generation,
+            "pending_rows": self.batcher.pending_rows,
+            "batch_occupancy": hist_doc("serving.batch_rows"),
+            "queue_wait_us": hist_doc("serving.queue_wait_us"),
+            "flush_reasons": {
+                "size": counters.get("serving.flush.size", 0),
+                "time": counters.get("serving.flush.time", 0),
+            },
+            "rejected": counters.get(
+                "serving.rejected", self.batcher.stats["rejected"]
+            ),
+            "reloads": (
+                self.watcher.stats["reloads"] if self.watcher is not None
+                else 0
+            ),
+        }
+        if self.watcher is not None:
+            document["reload"] = dict(self.watcher.stats)
+        restarts = getattr(self.engine, "total_restarts", None)
+        if restarts is not None:
+            document["worker_restarts"] = restarts
+        return document
+
 
 def main(argv=None):
     """CLI entry point: serve a checkpoint until interrupted."""
@@ -324,6 +425,9 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--transport", default="auto",
                         choices=("auto", "pipe", "shm"))
+    parser.add_argument("--log-requests", action="store_true",
+                        help="emit one structured JSON access-log line per "
+                             "request to stderr (off by default)")
     args = parser.parse_args(argv)
 
     config = ServingConfig(
@@ -334,6 +438,7 @@ def main(argv=None):
         transport=args.transport,
         host=args.host,
         port=args.port,
+        log_requests=args.log_requests,
     )
     spec = FrameworkSpec(name=args.framework)
 

@@ -14,11 +14,14 @@ The serving contract under test:
 """
 
 import asyncio
+import io
+import json
 import shutil
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.config import ServingConfig, SingleHopConfig, TrainingConfig
 from repro.marl.checkpoint import checkpoint_info, save_checkpoint
 from repro.marl.frameworks import build_framework
@@ -498,3 +501,134 @@ class TestServerHTTP:
         assert out["stats"]["requests"] >= 3
         assert out["stats"]["errors"] >= 3  # the provoked 404/400s
         assert out["stats"]["batcher"]["rows"] >= 4
+
+
+class TestMetricsEndpoint:
+    def test_metrics_under_load(self, checkpoints, rng):
+        """GET /metrics surfaces the telemetry registry: batch-occupancy
+        histogram, queue-wait percentiles, flush-reason counters, reloads."""
+        obs.reset()  # don't inherit another test's registry contents
+        observations = rng.uniform(size=(4, ENV.observation_size))
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=50, max_batch=4,
+                                   max_wait_us=500)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            await server.start()
+            try:
+                async def single(i):
+                    # One connection per task: the client doesn't pipeline.
+                    async with AsyncServingClient("127.0.0.1",
+                                                  server.port) as c:
+                        return await c.act(
+                            observations[i % 4], i % 2, greedy=True
+                        )
+
+                # Concurrent singles (time or size flushes) plus a
+                # full-width batch (guaranteed size flush).
+                await asyncio.gather(*(single(i) for i in range(8)))
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    await client.act_batch(
+                        observations, [0, 1, 0, 1], greedy=True
+                    )
+                    metrics = await client.metrics()
+                assert obs.enabled()  # server holds telemetry on
+                return metrics, server
+            finally:
+                await server.stop()
+
+        metrics, server = run(scenario())
+        assert metrics["telemetry_enabled"] is True
+        assert metrics["requests"] >= 9
+        occupancy = metrics["batch_occupancy"]
+        assert occupancy["count"] >= 1
+        assert occupancy["max"] >= 4  # the act-batch flush
+        assert sum(occupancy["counts"]) == occupancy["count"]
+        wait = metrics["queue_wait_us"]
+        assert wait["count"] >= 9
+        assert 0.0 <= wait["p50"] <= wait["p99"]
+        reasons = metrics["flush_reasons"]
+        assert set(reasons) == {"size", "time"}
+        assert all(isinstance(v, int) for v in reasons.values())
+        assert reasons["size"] + reasons["time"] == occupancy["count"]
+        assert isinstance(metrics["reloads"], int)
+        assert metrics["reloads"] == 0
+        # stop() restored the disabled default.
+        assert not obs.enabled()
+
+    def test_metrics_route_exists_without_traffic(self, checkpoints):
+        obs.reset()
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=0)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            await server.start()
+            try:
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    return await client.metrics()
+            finally:
+                await server.stop()
+
+        metrics = run(scenario())
+        assert metrics["batch_occupancy"] == {"count": 0}
+        assert metrics["queue_wait_us"] == {"count": 0}
+
+
+class TestAccessLog:
+    def test_structured_lines_per_request(self, checkpoints, rng):
+        observations = rng.uniform(size=(3, ENV.observation_size))
+        sink = io.StringIO()
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=0, max_batch=8,
+                                   max_wait_us=500, log_requests=True)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            server.access_log_stream = sink
+            await server.start()
+            try:
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    await client.act(observations[0], 0, greedy=True)
+                    await client.act_batch(
+                        observations, [0, 1, 0], greedy=True
+                    )
+            finally:
+                await server.stop()
+
+        run(scenario())
+        lines = [json.loads(line)
+                 for line in sink.getvalue().splitlines()]
+        assert len(lines) == 2
+        for line in lines:
+            assert line["event"] == "request"
+            assert line["flush"] in ("size", "time")
+            assert line["queue_wait_us"] >= 0.0
+            assert line["generation"] == 1
+            assert isinstance(line["batch_id"], int)
+        assert [line["request_id"] for line in lines] == [1, 2]
+        assert lines[1]["rows"] == 3
+
+    def test_log_disabled_by_default(self, checkpoints, rng):
+        sink = io.StringIO()
+        observation = rng.uniform(size=ENV.observation_size)
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=0, max_wait_us=500)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            server.access_log_stream = sink
+            await server.start()
+            try:
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    await client.act(observation, 0, greedy=True)
+            finally:
+                await server.stop()
+
+        run(scenario())
+        assert sink.getvalue() == ""
