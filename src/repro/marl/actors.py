@@ -502,7 +502,11 @@ class QuantumActorGroup(ActorGroup):
         if compile_rollouts and self._fast_backend is not None:
             from repro.quantum.compile import CompiledCircuit
 
-            self._compiled = CompiledCircuit(self._circuit, self._observables)
+            self._compiled = CompiledCircuit(
+                self._circuit,
+                self._observables,
+                array_backend=getattr(self._fast_backend, "array_backend", None),
+            )
 
     def team_probabilities(self, observations):
         """``(n_agents, A)`` action probabilities for the whole team at once.

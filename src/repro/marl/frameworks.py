@@ -294,7 +294,9 @@ def build_framework(
         else:
             def backend_factory():
                 return StatevectorBackend(
-                    shots=shots, rng=seeds.rng("backend-shots")
+                    shots=shots,
+                    rng=seeds.rng("backend-shots"),
+                    array_backend=vqc_config.array_backend,
                 )
         if vqc_config.gradient_method == "adjoint":
             vqc_config = VQCConfig(
@@ -302,7 +304,7 @@ def build_framework(
             )
     else:
         def backend_factory():
-            return StatevectorBackend()
+            return StatevectorBackend(array_backend=vqc_config.array_backend)
 
     env = SingleHopOffloadEnv(env_config, rng=seeds.rng("env"))
 

@@ -72,6 +72,10 @@ class QuantumLayer(Module):
         out_data = backend.run(vqc.circuit, vqc.observables, x.data, weights.data)
 
         def backward_fn(grad):
+            # The backend is passed for every method: the adjoint path
+            # inherits its array backend (device-resident reverse sweep),
+            # the shift/finite-diff paths execute on it directly.  Results
+            # are host numpy arrays either way.
             input_grads, weight_grads = _qbackward(
                 vqc.circuit,
                 vqc.observables,
@@ -79,7 +83,7 @@ class QuantumLayer(Module):
                 weights.data,
                 grad,
                 method=method,
-                backend=backend if method != "adjoint" else None,
+                backend=backend,
             )
             if weight_grads is not None:
                 weights._accumulate(weight_grads)

@@ -1,0 +1,530 @@
+"""Array-API backend seam under the quantum kernels.
+
+The program-compiled kernel tier (:mod:`repro.quantum.program`) and the
+statevector helpers express their hot loops through a small *array
+namespace* object — an :class:`ArrayBackend` exposing the ~15 array ops the
+kernels actually use (``take``/gather, ``multiply``, ``matmul``/``einsum``,
+``concatenate``, ``asarray``, dtype-preserving constructors) plus the three
+device-boundary primitives (``device_constant``, ``asarray`` uploads,
+``to_host`` downloads).  The namespace is resolved **once per compiled
+program** and cached per ``(program, backend)``, so the numpy default pays
+no per-call dispatch: every op attribute is a direct reference to the numpy
+function and ``device_constant``/``to_host`` are identities.
+
+Four backends:
+
+- ``numpy`` — the default and the bit-identity reference.  Same ops, same
+  op order, same dtypes as the pre-seam kernels.
+- ``mock`` — numpy wrapped in a :class:`MockDeviceArray` marker subclass
+  that *counts* host↔device transfers and **rejects implicit host
+  round-trips**: any kernel-level operation mixing a device array with a
+  plain host ``ndarray`` raises :class:`MockTransferError`.  This makes the
+  device-residency contract testable in CPU-only CI, with values that stay
+  bitwise equal to the numpy path (it is numpy underneath).
+- ``cupy`` / ``torch`` — duck-typed adapters, built lazily and only when the
+  library is importable; detection of which namespace owns an array goes
+  through :func:`array_namespace` (``__array_namespace__``-style dispatch on
+  the array's owning module).
+
+Selection: ``StatevectorBackend(array_backend=...)`` per backend instance,
+:func:`set_default_array_backend` / :func:`using_array_backend` globally, or
+the ``REPRO_QUANTUM_BACKEND`` environment variable at import time.
+
+Device-residency contract (see ``docs/quantum_kernels.md``):
+
+- compile-time constants (phase vectors, index tables, generator data,
+  fused unitaries) are uploaded **once** per (program, backend) via
+  ``device_constant`` and cached;
+- per-call host data (encoding angles, cos/sin vectors, per-sample phase
+  tables) is computed on the host and uploaded one-way via ``asarray``;
+- results come back to the host only at explicit boundaries — ``measure``,
+  ``probabilities``, and the adjoint gradient returns — via ``to_host``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "MockArrayBackend",
+    "MockDeviceArray",
+    "MockTransferError",
+    "array_namespace",
+    "available_array_backends",
+    "default_array_backend",
+    "get_array_backend",
+    "set_default_array_backend",
+    "to_host",
+    "using_array_backend",
+]
+
+
+class MockTransferError(RuntimeError):
+    """An implicit host↔device transfer inside a kernel (mock backend)."""
+
+
+# ---------------------------------------------------------------------------
+# numpy backend: the zero-overhead default
+# ---------------------------------------------------------------------------
+
+
+class ArrayBackend:
+    """The numpy array namespace — and the base class of every other one.
+
+    Every op is a direct reference to the numpy function (no wrappers), and
+    the device-boundary primitives are identities, so kernels routed through
+    this object execute the exact same calls as pre-seam code.
+    """
+
+    name = "numpy"
+    is_host = True
+    # Whether kernels may reuse preallocated scratch via ``out=`` kwargs.
+    supports_scratch = True
+
+    asarray = staticmethod(np.asarray)
+    empty = staticmethod(np.empty)
+    zeros = staticmethod(np.zeros)
+    zeros_like = staticmethod(np.zeros_like)
+    take = staticmethod(np.take)
+    multiply = staticmethod(np.multiply)
+    matmul = staticmethod(np.matmul)
+    einsum = staticmethod(np.einsum)
+    concatenate = staticmethod(np.concatenate)
+    stack = staticmethod(np.stack)
+    transpose = staticmethod(np.transpose)
+    swapaxes = staticmethod(np.swapaxes)
+    conj = staticmethod(np.conjugate)
+    real = staticmethod(np.real)
+    imag = staticmethod(np.imag)
+    sum = staticmethod(np.sum)
+    sqrt = staticmethod(np.sqrt)
+    abs = staticmethod(np.abs)
+
+    def device_constant(self, array):
+        """Materialise a compile-time constant on the device (identity here)."""
+        return array
+
+    def to_host(self, array):
+        """Bring an array back to the host (identity here)."""
+        if isinstance(array, np.ndarray):
+            return array
+        return np.asarray(array)
+
+    def __repr__(self):
+        return f"<ArrayBackend {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Mock device backend: numpy values, accelerator semantics
+# ---------------------------------------------------------------------------
+
+
+def _unwrap_tree(obj):
+    """Strip the device marker from operands; reject plain host arrays.
+
+    Scalars and 0-d host arrays pass through (accelerator libraries accept
+    python/numpy scalars in kernels without a transfer); any host array with
+    data in it is an implicit round-trip and raises.
+    """
+    if isinstance(obj, MockDeviceArray):
+        return obj.view(np.ndarray)
+    if isinstance(obj, np.ndarray):
+        if obj.ndim:
+            raise MockTransferError(
+                "implicit host<->device transfer: a plain numpy array met a "
+                "mock device array inside a kernel; upload it first with "
+                "asarray()/device_constant(), or bring the device array back "
+                "with to_host()"
+            )
+        return obj
+    if isinstance(obj, (tuple, list)):
+        return type(obj)(_unwrap_tree(o) for o in obj)
+    if isinstance(obj, dict):
+        return {k: _unwrap_tree(v) for k, v in obj.items()}
+    return obj
+
+
+def _wrap_device(result):
+    if isinstance(result, tuple):
+        return tuple(_wrap_device(r) for r in result)
+    if isinstance(result, np.ndarray):
+        return result.view(MockDeviceArray)
+    if isinstance(result, np.generic):
+        # Reductions on a real accelerator return 0-d device arrays, not
+        # host scalars — keep the result resident.
+        return np.asarray(result).view(MockDeviceArray)
+    return result
+
+
+class MockDeviceArray(np.ndarray):
+    """Marker subclass standing in for a device-resident array.
+
+    Values and dtypes are plain numpy (so the mock path stays bitwise equal
+    to the numpy path), but every ufunc, array function, indexing and
+    assignment checks that *all* array operands are device-resident and
+    re-wraps results — mixing in a host array raises
+    :class:`MockTransferError` instead of silently "transferring".
+    """
+
+    __slots__ = ()
+
+    def __array_ufunc__(self, ufunc, method, *inputs, out=None, **kwargs):
+        inputs = tuple(_unwrap_tree(x) for x in inputs)
+        if out is not None:
+            kwargs["out"] = tuple(_unwrap_tree(o) for o in out)
+        result = getattr(ufunc, method)(*inputs, **kwargs)
+        return _wrap_device(result)
+
+    def __array_function__(self, func, types, args, kwargs):
+        args = _unwrap_tree(args)
+        kwargs = _unwrap_tree(kwargs)
+        return _wrap_device(func(*args, **kwargs))
+
+    def __getitem__(self, key):
+        key = _unwrap_tree(key)
+        return _wrap_device(self.view(np.ndarray)[key])
+
+    def __setitem__(self, key, value):
+        key = _unwrap_tree(key)
+        value = _unwrap_tree(value)
+        self.view(np.ndarray)[key] = value
+
+
+class MockArrayBackend(ArrayBackend):
+    """A fake accelerator for CPU-only CI: counts transfers, rejects mixing.
+
+    ``counts`` tracks ``h2d`` (uploads via :meth:`asarray`), ``d2h``
+    (downloads via :meth:`to_host`) and ``constant_uploads`` (distinct
+    compile-time constants materialised via :meth:`device_constant`).
+    Device-side allocation (``zeros``/``empty``) is free, as on a real
+    device.  All math inherits the numpy functions — the
+    :class:`MockDeviceArray` protocol keeps results device-resident.
+    """
+
+    name = "mock"
+    is_host = False
+    supports_scratch = True
+
+    def __init__(self):
+        self.counts = {"h2d": 0, "d2h": 0, "constant_uploads": 0}
+        self._constants = {}
+
+    def reset_counts(self):
+        for key in self.counts:
+            self.counts[key] = 0
+
+    def asarray(self, array, dtype=None):
+        if isinstance(array, MockDeviceArray):
+            if dtype is None or array.dtype == dtype:
+                return array
+            return array.astype(dtype)  # on-device cast, no transfer
+        host = np.asarray(array, dtype=dtype)
+        self.counts["h2d"] += 1
+        return host.copy().view(MockDeviceArray)
+
+    def device_constant(self, array):
+        key = id(array)
+        entry = self._constants.get(key)
+        if entry is not None and entry[0] is array:
+            return entry[1]
+        self.counts["constant_uploads"] += 1
+        device = np.asarray(array).copy().view(MockDeviceArray)
+        # Hold the host array so id() keys can never be reused while cached.
+        self._constants[key] = (array, device)
+        return device
+
+    def to_host(self, array):
+        if isinstance(array, MockDeviceArray):
+            self.counts["d2h"] += 1
+            return np.array(array.view(np.ndarray))
+        return super().to_host(array)
+
+    def empty(self, shape, dtype=None):
+        return np.empty(shape, dtype=dtype).view(MockDeviceArray)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=dtype).view(MockDeviceArray)
+
+    def zeros_like(self, array):
+        return np.zeros_like(array).view(MockDeviceArray)
+
+    def __repr__(self):
+        return f"<MockArrayBackend counts={self.counts}>"
+
+
+# ---------------------------------------------------------------------------
+# Optional accelerator adapters (duck-typed, lazily constructed)
+# ---------------------------------------------------------------------------
+
+_DELEGATED_OPS = (
+    "asarray", "empty", "zeros", "zeros_like", "take", "multiply", "matmul",
+    "einsum", "concatenate", "stack", "transpose", "swapaxes", "conj",
+    "real", "imag", "sum", "sqrt", "abs",
+)
+
+
+class _ConstantMemo:
+    """Per-backend id-keyed memo for ``device_constant`` uploads."""
+
+    def __init__(self, upload):
+        self._upload = upload
+        self._entries = {}
+
+    def __call__(self, array):
+        key = id(array)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is array:
+            return entry[1]
+        device = self._upload(array)
+        self._entries[key] = (array, device)
+        return device
+
+
+class CupyArrayBackend(ArrayBackend):
+    """cupy adapter: numpy-compatible namespace, GPU-resident arrays."""
+
+    name = "cupy"
+    is_host = False
+    supports_scratch = False
+
+    def __init__(self):
+        import cupy
+
+        self._cupy = cupy
+        for op in _DELEGATED_OPS:
+            setattr(self, op, getattr(cupy, op))
+        self.device_constant = _ConstantMemo(cupy.asarray)
+
+    def to_host(self, array):
+        return self._cupy.asnumpy(array)
+
+
+class TorchArrayBackend(ArrayBackend):
+    """torch adapter: maps the seam ops onto tensor equivalents."""
+
+    name = "torch"
+    is_host = False
+    supports_scratch = False
+
+    _DTYPES = {
+        "float32": "float32", "float64": "float64",
+        "complex64": "complex64", "complex128": "complex128",
+        "int32": "int32", "int64": "int64",
+    }
+
+    def __init__(self, device=None):
+        import torch
+
+        self._torch = torch
+        self.device = device or ("cuda" if torch.cuda.is_available() else "cpu")
+        self.device_constant = _ConstantMemo(self._upload)
+
+    def _dtype(self, dtype):
+        if dtype is None:
+            return None
+        name = np.dtype(dtype).name
+        mapped = self._DTYPES.get(name, "int64" if name == "int64" else None)
+        if np.dtype(dtype) == np.intp:
+            mapped = "int64"
+        if mapped is None:
+            raise TypeError(f"no torch dtype for {dtype!r}")
+        return getattr(self._torch, mapped)
+
+    def _upload(self, array):
+        return self._torch.as_tensor(
+            np.asarray(array), device=self.device
+        )
+
+    def asarray(self, array, dtype=None):
+        torch = self._torch
+        if torch.is_tensor(array):
+            if dtype is None:
+                return array
+            return array.to(self._dtype(dtype))
+        tensor = torch.as_tensor(np.asarray(array), device=self.device)
+        if dtype is not None:
+            tensor = tensor.to(self._dtype(dtype))
+        return tensor
+
+    def to_host(self, array):
+        if self._torch.is_tensor(array):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+    def empty(self, shape, dtype=None):
+        return self._torch.empty(
+            shape, dtype=self._dtype(dtype), device=self.device
+        )
+
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(
+            shape, dtype=self._dtype(dtype), device=self.device
+        )
+
+    def zeros_like(self, array):
+        return self._torch.zeros_like(array)
+
+    def take(self, array, indices, axis=None, out=None):
+        if axis is None:
+            return self._torch.take(array, indices)
+        return self._torch.index_select(array, axis, indices)
+
+    def multiply(self, a, b, out=None):
+        if out is None:
+            return self._torch.mul(a, b)
+        return self._torch.mul(a, b, out=out)
+
+    def matmul(self, a, b):
+        return self._torch.matmul(a, b)
+
+    def einsum(self, subscripts, *operands):
+        return self._torch.einsum(subscripts, *operands)
+
+    def concatenate(self, arrays, axis=0):
+        return self._torch.cat(tuple(arrays), dim=axis)
+
+    def stack(self, arrays, axis=0):
+        return self._torch.stack(tuple(arrays), dim=axis)
+
+    def transpose(self, array, axes):
+        return array.permute(tuple(axes))
+
+    def swapaxes(self, array, axis1, axis2):
+        return self._torch.transpose(array, axis1, axis2)
+
+    def conj(self, array):
+        return self._torch.conj(array)
+
+    def real(self, array):
+        return self._torch.real(array)
+
+    def imag(self, array):
+        return self._torch.imag(array)
+
+    def sum(self, array, axis=None):
+        if axis is None:
+            return self._torch.sum(array)
+        return self._torch.sum(array, dim=axis)
+
+    def sqrt(self, array):
+        return self._torch.sqrt(array)
+
+    def abs(self, array):
+        return self._torch.abs(array)
+
+
+# ---------------------------------------------------------------------------
+# Registry, default selection and namespace detection
+# ---------------------------------------------------------------------------
+
+_BUILDERS = {
+    "numpy": ArrayBackend,
+    "mock": MockArrayBackend,
+    "cupy": CupyArrayBackend,
+    "torch": TorchArrayBackend,
+}
+
+_REGISTRY: dict[str, ArrayBackend] = {}
+
+
+def get_array_backend(spec=None):
+    """Resolve a backend spec (name, instance or ``None`` for the default)."""
+    if spec is None:
+        spec = _DEFAULT
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"array backend must be a name or an ArrayBackend, got {spec!r}"
+        )
+    backend = _REGISTRY.get(spec)
+    if backend is None:
+        builder = _BUILDERS.get(spec)
+        if builder is None:
+            raise ValueError(
+                f"unknown array backend {spec!r}; choose from "
+                f"{sorted(_BUILDERS)}"
+            )
+        try:
+            backend = builder()
+        except ImportError as exc:
+            raise ImportError(
+                f"array backend {spec!r} needs the {spec!r} library, which "
+                f"is not importable here: {exc}"
+            ) from exc
+        _REGISTRY[spec] = backend
+    return backend
+
+
+def default_array_backend():
+    """The backend new programs compile against when none is requested."""
+    return get_array_backend(_DEFAULT)
+
+
+def set_default_array_backend(spec):
+    """Set the global default backend; returns the previous spec."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = get_array_backend(spec) if spec is not None else "numpy"
+    return previous
+
+
+@contextmanager
+def using_array_backend(spec):
+    """Context manager scoping :func:`set_default_array_backend`."""
+    previous = set_default_array_backend(spec)
+    try:
+        yield get_array_backend(None)
+    finally:
+        set_default_array_backend(previous)
+
+
+def available_array_backends():
+    """Backend names usable on this machine (always numpy + mock)."""
+    names = ["numpy", "mock"]
+    for optional in ("cupy", "torch"):
+        try:
+            if importlib.util.find_spec(optional) is not None:
+                names.append(optional)
+        except (ImportError, ValueError):
+            continue
+    return names
+
+
+def array_namespace(array):
+    """The :class:`ArrayBackend` owning ``array``.
+
+    ``__array_namespace__``-style dispatch: plain ndarrays (and scalars /
+    None) resolve to numpy, :class:`MockDeviceArray` to the mock backend,
+    and cupy/torch arrays to their adapters by owning module.  This lets
+    library code (statevector helpers, observables) follow the residency of
+    whatever state array it is handed without an explicit backend handle.
+    """
+    if isinstance(array, MockDeviceArray):
+        return get_array_backend("mock")
+    if type(array) is np.ndarray or isinstance(array, np.ndarray):
+        return get_array_backend("numpy")
+    if array is None or isinstance(array, (np.generic, float, int, complex)):
+        return get_array_backend("numpy")
+    module = type(array).__module__.partition(".")[0]
+    if module in ("cupy", "torch"):
+        return get_array_backend(module)
+    namespace = getattr(array, "__array_namespace__", None)
+    if namespace is not None:
+        return get_array_backend("numpy")
+    raise TypeError(
+        f"no array backend owns objects of type {type(array).__name__}"
+    )
+
+
+def to_host(array):
+    """Bring any backend's array to the host (identity for numpy)."""
+    return array_namespace(array).to_host(array)
+
+
+_DEFAULT = os.environ.get("REPRO_QUANTUM_BACKEND", "numpy") or "numpy"

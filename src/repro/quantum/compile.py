@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.quantum import backend as _backend
 from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
 from repro.quantum.backends import StatevectorBackend, _normalise_run_args
@@ -54,7 +55,7 @@ class CompiledCircuit:
     stacked unitaries.
     """
 
-    def __init__(self, circuit, observables=None):
+    def __init__(self, circuit, observables=None, array_backend=None):
         circuit.validate()
         self.circuit = circuit
         self.observables = list(observables) if observables is not None else None
@@ -63,11 +64,25 @@ class CompiledCircuit:
         self._suffix = circuit.operations[self.split :]
         self._cache_key = None
         self._cached_unitary = None
-        self._backend = StatevectorBackend()
+        self.array_backend = array_backend
+        self._backend = StatevectorBackend(array_backend=array_backend)
         # Program-compiled kernel plans for the two circuit halves, built
-        # lazily so the interpreted tier pays no compile cost.
-        self._prefix_program = None
-        self._suffix_program = None
+        # lazily so the interpreted tier pays no compile cost; keyed per
+        # array backend so the cached unitary stays device-resident.
+        self._prefix_programs = {}
+        self._suffix_programs = {}
+
+    def _array_backend(self):
+        return _backend.get_array_backend(self.array_backend)
+
+    def _half_program(self, programs, operations):
+        xp = self._array_backend()
+        prog = programs.get(id(xp))
+        if prog is None:
+            prog = programs[id(xp)] = _program.CircuitProgram(
+                self.circuit.n_qubits, operations, xp
+            )
+        return prog
 
     @property
     def n_compiled_operations(self):
@@ -80,7 +95,11 @@ class CompiledCircuit:
         Returns ``(dim, dim)`` for a weight vector, or ``(N, dim, dim)`` for
         an ``(N, n_weights)`` weight matrix.
         """
-        key = _weights_key(weights)
+        key = (
+            id(self._array_backend()),
+            _program.program_enabled(),
+            _weights_key(weights),
+        )
         if key == self._cache_key:
             if obs.enabled():
                 obs.counter("program.suffix_hit").inc()
@@ -97,11 +116,12 @@ class CompiledCircuit:
             expanded = np.repeat(weights_arr, dim, axis=0)
             psi = self._evolve_suffix(basis, expanded)
             # Row b of each block is U|b>, so each block is U^T.
-            unitary = psi.reshape(n_sets, dim, dim).transpose(0, 2, 1)
+            xp = _backend.array_namespace(psi)
+            unitary = xp.transpose(psi.reshape(n_sets, dim, dim), (0, 2, 1))
         else:
             basis = np.eye(dim, dtype=np.complex128)
             psi = self._evolve_suffix(basis, weights_arr)
-            unitary = psi.T
+            unitary = _backend.array_namespace(psi).transpose(psi, (1, 0))
 
         self._cache_key = key
         self._cached_unitary = unitary
@@ -110,20 +130,21 @@ class CompiledCircuit:
     def _evolve_suffix(self, psi, weights):
         n = self.circuit.n_qubits
         if _program.program_enabled():
-            if self._suffix_program is None:
-                self._suffix_program = _program.CircuitProgram(n, self._suffix)
-            return self._suffix_program.apply(psi, None, weights)
+            prog = self._half_program(self._suffix_programs, self._suffix)
+            # The identity-basis batch is built on the host; one explicit
+            # upload per (rare) unitary rebuild.
+            return prog.apply(prog.array_backend.asarray(psi), None, weights)
         for op in self._suffix:
             theta = self.circuit.resolve_angle(op, None, weights)
             psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
         return psi
 
-    def _evolve_prefix(self, psi, inputs, weights):
+    def _evolve_prefix(self, batch, inputs, weights):
         n = self.circuit.n_qubits
         if _program.program_enabled():
-            if self._prefix_program is None:
-                self._prefix_program = _program.CircuitProgram(n, self._prefix)
-            return self._prefix_program.apply(psi, inputs, weights)
+            prog = self._half_program(self._prefix_programs, self._prefix)
+            return prog.apply(prog.zero_state(batch), inputs, weights)
+        psi = _sv.zero_state(n, batch)
         for op in self._prefix:
             theta = self.circuit.resolve_angle(op, inputs, weights)
             psi = _sv.apply_gate(psi, op.gate, op.wires, n, theta)
@@ -153,17 +174,18 @@ class CompiledCircuit:
                         f"{n_sets} weight rows for batch {batch}"
                     )
                 prefix_weights = np.tile(weights_arr, (batch // n_sets, 1))
-        psi = self._evolve_prefix(_sv.zero_state(n, batch), inputs_arr, prefix_weights)
+        psi = self._evolve_prefix(batch, inputs_arr, prefix_weights)
 
         unitary = self.suffix_unitary(weights_arr)
+        xp = _backend.array_namespace(psi)
         if unitary.ndim == 3:
             n_sets, dim = unitary.shape[0], unitary.shape[1]
             if batch != n_sets:
                 psi = psi.reshape(batch // n_sets, n_sets, dim)
-                psi = np.einsum("gij,kgj->kgi", unitary, psi)
+                psi = xp.einsum("gij,kgj->kgi", unitary, psi)
                 return psi.reshape(batch, dim)
-            return np.einsum("bij,bj->bi", unitary, psi)
-        return psi @ unitary.T
+            return xp.einsum("bij,bj->bi", unitary, psi)
+        return xp.matmul(psi, xp.transpose(unitary, (1, 0)))
 
     def run(self, inputs=None, weights=None, observables=None, batch_size=None):
         """Expectation values ``(B, n_observables)`` via the compiled path."""
@@ -196,12 +218,10 @@ class CompiledCircuit:
             raise ValueError(
                 f"rows must have shape ({batch},), got {rows.shape}"
             )
-        n = self.circuit.n_qubits
-        psi = self._evolve_prefix(
-            _sv.zero_state(n, batch), inputs_arr, weights_arr[rows]
-        )
+        psi = self._evolve_prefix(batch, inputs_arr, weights_arr[rows])
         unitary = self.suffix_unitary(weights_arr)
-        return np.einsum("bij,bj->bi", unitary[rows], psi)
+        xp = _backend.array_namespace(psi)
+        return xp.einsum("bij,bj->bi", unitary[xp.asarray(rows)], psi)
 
     def run_rows(self, inputs, weights, rows, observables=None):
         """Expectation values ``(B, n_observables)`` for gathered weight rows."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.quantum import backend as _backend
 from repro.quantum import gates as _gates
 from repro.quantum import program as _program
 from repro.quantum import statevector as _sv
@@ -98,13 +99,13 @@ def _accumulate(op, grad_per_sample, input_grads, weight_grads):
         input_grads[:, ref.index] += scaled
 
 
-def _weight_grad_buffer(circuit, weights, batch):
+def _weight_grad_buffer(circuit, weights, batch, xp=np):
     """Zeroed weight-gradient buffer, per-sample when ``weights`` is 2-D."""
     if not circuit.n_weights:
         return None
     if weights is not None and np.asarray(weights).ndim == 2:
-        return np.zeros((batch, circuit.n_weights))
-    return np.zeros(circuit.n_weights)
+        return xp.zeros((batch, circuit.n_weights))
+    return xp.zeros(circuit.n_weights)
 
 
 def _inverse_matrix(op, theta):
@@ -117,7 +118,7 @@ def _inverse_matrix(op, theta):
     return spec.fixed_matrix.conj().T
 
 
-def adjoint_backward(circuit, observables, inputs, weights, upstream):
+def adjoint_backward(circuit, observables, inputs, weights, upstream, array_backend=None):
     """Vector-Jacobian product via adjoint differentiation (exact, pure state).
 
     Args:
@@ -130,12 +131,16 @@ def adjoint_backward(circuit, observables, inputs, weights, upstream):
             or ``None``.
         upstream: ``(B, n_observables)`` upstream gradient
             ``dL/d<O_j>`` per sample.
+        array_backend: Array backend for the program-compiled sweep (name,
+            instance, or ``None`` for the process default).  The whole
+            reverse sweep — gradient accumulators included — stays on the
+            device; results come back as host arrays at the end.
 
     Returns:
         ``(input_grads, weight_grads)``; ``input_grads`` is ``None`` when the
         circuit encodes no inputs.
     """
-    backend = StatevectorBackend()
+    backend = StatevectorBackend(array_backend=array_backend)
     if inputs is not None:
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim == 1:
@@ -160,11 +165,6 @@ def adjoint_backward(circuit, observables, inputs, weights, upstream):
     bra = effective.apply(psi, n)
     ket = psi
 
-    input_grads = (
-        np.zeros((batch, circuit.n_inputs)) if circuit.n_inputs else None
-    )
-    weight_grads = _weight_grad_buffer(circuit, weights, batch)
-
     # Resolve all angles once (cheap) so the reverse sweep can invert gates.
     angles = [
         circuit.resolve_angle(op, inputs, weights) for op in circuit.operations
@@ -174,21 +174,38 @@ def adjoint_backward(circuit, observables, inputs, weights, upstream):
         # Program-compiled sweep: each gate's pre-planned inverse kernel is
         # applied to the stacked (2B, dim) bra/ket block in ONE call, and
         # generators run as compiled diagonal/gather kernels (Pauli
-        # generators are never dense).  Same math, fewer passes.
-        prog = _program.compile_program(circuit)
-        stacked = np.concatenate([bra, ket], axis=0)
+        # generators are never dense).  Same math, fewer passes.  Gradient
+        # accumulators live on the program's array backend so the whole
+        # sweep is device-resident; the final buffers cross to the host
+        # exactly once.
+        prog = _program.compile_program(circuit, backend._array_backend())
+        xp = prog.array_backend
+        input_grads = (
+            xp.zeros((batch, circuit.n_inputs)) if circuit.n_inputs else None
+        )
+        weight_grads = _weight_grad_buffer(circuit, weights, batch, xp)
+        stacked = xp.concatenate([bra, ket], axis=0)
         for i in range(len(circuit.operations) - 1, -1, -1):
             op = circuit.operations[i]
             theta = angles[i]
             if op.is_trainable or op.is_input:
                 # d<H>/dtheta = Im(<bra| G |ket>), ket = psi_i (pre-inverse).
                 g_ket = prog.apply_generator(i, stacked[batch:])
-                grad = np.imag(_sv.inner_products(stacked[:batch], g_ket))
+                grad = xp.imag(_sv.inner_products(stacked[:batch], g_ket))
                 _accumulate(op, grad, input_grads, weight_grads)
             if theta is not None and np.ndim(theta) == 1:
                 theta = np.concatenate([theta, theta])
             stacked = prog.apply_inverse(i, stacked, theta)
+        if input_grads is not None:
+            input_grads = xp.to_host(input_grads)
+        if weight_grads is not None:
+            weight_grads = xp.to_host(weight_grads)
         return input_grads, weight_grads
+
+    input_grads = (
+        np.zeros((batch, circuit.n_inputs)) if circuit.n_inputs else None
+    )
+    weight_grads = _weight_grad_buffer(circuit, weights, batch)
 
     for op, theta in zip(reversed(circuit.operations), reversed(angles)):
         needs_grad = op.is_trainable or op.is_input
@@ -353,7 +370,14 @@ def backward(
             )
         if backend is not None and backend.shots is not None:
             raise ValueError("adjoint differentiation requires exact expectations")
-        return adjoint_backward(circuit, observables, inputs, weights, upstream)
+        return adjoint_backward(
+            circuit,
+            observables,
+            inputs,
+            weights,
+            upstream,
+            array_backend=getattr(backend, "array_backend", None),
+        )
     if method == "parameter_shift":
         return parameter_shift_backward(
             circuit, observables, inputs, weights, upstream, backend

@@ -9,6 +9,7 @@ evidence each is correct.
 import numpy as np
 import pytest
 
+from repro.quantum import backend as qback
 from repro.quantum.backends import DensityMatrixBackend, StatevectorBackend
 from repro.quantum.channels import NoiseModel
 from repro.quantum.circuit import ParameterRef, QuantumCircuit
@@ -31,6 +32,20 @@ def _random_problem(rng, n_qubits=3, n_features=6, n_weights=14, batch=4, seed=0
     return vqc, inputs, weights, upstream
 
 
+@pytest.fixture(params=qback.available_array_backends())
+def array_backend(request):
+    """Run the method-agreement suite once per importable array backend.
+
+    The adjoint sweep dispatches through the seam (device arrays on mock /
+    cupy / torch); shift and finite-difference stay on host numpy, so each
+    parametrization cross-checks the seamed sweep against two independent
+    host derivations.
+    """
+    with qback.using_array_backend(request.param):
+        yield qback.get_array_backend(request.param)
+
+
+@pytest.mark.usefixtures("array_backend")
 class TestMethodAgreement:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_adjoint_vs_parameter_shift(self, rng, seed):

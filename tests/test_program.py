@@ -11,6 +11,7 @@ weights.  Fusion must never merge across an input-dependent operation.
 import numpy as np
 import pytest
 
+from repro.quantum import backend as qback
 from repro.quantum import program as qprog
 from repro.quantum.backends import StatevectorBackend
 from repro.quantum.circuit import ParameterRef, QuantumCircuit
@@ -27,6 +28,18 @@ from repro.quantum.program import (
 from repro.quantum.vqc import build_vqc
 
 ATOL = 1e-12
+
+# Every array backend importable here: always ["numpy", "mock"], plus
+# cupy / torch when installed.  The equivalence suites below run once per
+# backend — the interpreted oracle always stays on host numpy, so each
+# parametrization pins "program tier on backend X == interpreted numpy".
+ARRAY_BACKENDS = qback.available_array_backends()
+
+
+@pytest.fixture(params=ARRAY_BACKENDS)
+def array_backend(request):
+    with qback.using_array_backend(request.param):
+        yield qback.get_array_backend(request.param)
 
 
 def _interpreted():
@@ -92,6 +105,7 @@ def _random_circuit(rng, n_qubits=4, n_ops=40):
     return circuit, n_weights
 
 
+@pytest.mark.usefixtures("array_backend")
 class TestProgramEquivalence:
     def test_all_registered_gates(self, rng):
         circuit = _all_gates_circuit()
@@ -99,7 +113,7 @@ class TestProgramEquivalence:
         weights = rng.uniform(-np.pi, np.pi, size=4)
         exact = _interpreted().evolve(circuit, inputs, weights)
         out = compile_program(circuit).evolve(inputs, weights, batch_size=6)
-        assert np.allclose(out, exact, atol=ATOL)
+        assert np.allclose(qback.to_host(out), exact, atol=ATOL)
 
     def test_all_gates_per_sample_weights(self, rng):
         circuit = _all_gates_circuit()
@@ -107,7 +121,7 @@ class TestProgramEquivalence:
         weights = rng.uniform(-np.pi, np.pi, size=(5, 4))
         exact = _interpreted().evolve(circuit, inputs, weights)
         out = compile_program(circuit).evolve(inputs, weights, batch_size=5)
-        assert np.allclose(out, exact, atol=ATOL)
+        assert np.allclose(qback.to_host(out), exact, atol=ATOL)
 
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
     def test_random_circuits(self, seed):
@@ -117,7 +131,7 @@ class TestProgramEquivalence:
         weights = rng.uniform(-np.pi, np.pi, size=max(n_weights, 1))
         exact = _interpreted().evolve(circuit, inputs, weights)
         out = compile_program(circuit).evolve(inputs, weights, batch_size=4)
-        assert np.allclose(out, exact, atol=ATOL)
+        assert np.allclose(qback.to_host(out), exact, atol=ATOL)
 
     def test_standard_vqc_batched_encoding(self, rng):
         vqc = build_vqc(4, 16, 50, seed=7)
@@ -165,7 +179,7 @@ class TestProgramEquivalence:
         second = compile_program(circuit)
         assert first is not second
         exact = _interpreted().evolve(circuit, batch_size=1)
-        assert np.allclose(second.evolve(batch_size=1), exact, atol=ATOL)
+        assert np.allclose(qback.to_host(second.evolve(batch_size=1)), exact, atol=ATOL)
 
     def test_cache_hit_returns_same_program(self):
         circuit = QuantumCircuit(2)
@@ -251,6 +265,7 @@ class TestFusion:
         )
 
 
+@pytest.mark.usefixtures("array_backend")
 class TestCompiledCircuitIntegration:
     def test_prefix_program_matches_interpreted(self, rng):
         vqc = build_vqc(4, 8, 30, seed=5)
@@ -277,6 +292,7 @@ class TestCompiledCircuitIntegration:
         assert np.allclose(outputs, exact, atol=ATOL)
 
 
+@pytest.mark.usefixtures("array_backend")
 class TestProgramAdjoint:
     def _grads(self, circuit, observables, inputs, weights, upstream):
         with using_program(True):
@@ -342,6 +358,7 @@ class TestProgramAdjoint:
         assert np.allclose(gw_p, gw_i, atol=ATOL)
 
 
+@pytest.mark.usefixtures("array_backend")
 class TestMeasurementKernels:
     def test_diagonal_measure_matches_interpreted(self, rng):
         vqc = build_vqc(3, 3, 9, seed=4)
