@@ -11,7 +11,14 @@ actor framework ("proposed") for the three interchangeable engines:
   (:class:`repro.marl.parallel.ShardedRolloutCollector`) at the same ``N``
   split across ``W`` worker processes, each evaluating its shard's circuits
   locally — measured over **both transition transports** (the pickle-pipe
-  fallback and the zero-copy shared-memory ring), the new benchmark axis.
+  fallback and the zero-copy shared-memory ring).
+
+A **ragged axis** measures the batched engines on the overflow-terminating
+env family (``terminate_on_overflow=True``), where the sharded engine runs
+the bounded-probe stopping-round negotiation instead of the one-command
+fast path.  Ragged episode lengths vary, so those records report completed
+episodes per second and a ``ragged_vs_fixed`` ratio against the same
+engine's fixed-length episode rate.
 
 The standalone entry point prints a summary table and writes the
 machine-readable ``BENCH_parallel_rollout.json`` (steps/s per engine and
@@ -64,26 +71,34 @@ def _build_actors(episode_limit=EPISODE_LIMIT):
     return framework.actors
 
 
-def _make_env(episode_limit=EPISODE_LIMIT):
-    return SingleHopOffloadEnv(
-        SingleHopConfig(episode_limit=episode_limit),
-        rng=np.random.default_rng(SEED),
+def _make_env(episode_limit=EPISODE_LIMIT, ragged=False):
+    # The ragged variant is the overflow-terminating env family the ragged
+    # round protocol runs on: episode_limit becomes a horizon cap and the
+    # queue preload makes early endings common (see tests/helpers.py).
+    config = SingleHopConfig(
+        episode_limit=episode_limit,
+        terminate_on_overflow=ragged,
+        initial_queue_level=0.8 if ragged else 0.5,
     )
+    return SingleHopOffloadEnv(config, rng=np.random.default_rng(SEED))
 
 
-def _make_vector_collector(n_envs, actors=None, episode_limit=EPISODE_LIMIT):
+def _make_vector_collector(n_envs, actors=None, episode_limit=EPISODE_LIMIT,
+                           ragged=False):
     actors = actors if actors is not None else _build_actors(episode_limit)
     return VectorRolloutCollector(
-        make_vector_env(_make_env(episode_limit), n_envs), actors
+        make_vector_env(_make_env(episode_limit, ragged=ragged), n_envs),
+        actors,
     )
 
 
 def _make_sharded_collector(n_envs, n_workers, actors=None,
-                            episode_limit=EPISODE_LIMIT, transport="pipe"):
+                            episode_limit=EPISODE_LIMIT, transport="pipe",
+                            ragged=False):
     actors = actors if actors is not None else _build_actors(episode_limit)
     return ShardedRolloutCollector(
-        _make_env(episode_limit), actors, n_envs=n_envs, n_workers=n_workers,
-        transport=transport,
+        _make_env(episode_limit, ragged=ragged), actors,
+        n_envs=n_envs, n_workers=n_workers, transport=transport,
     )
 
 
@@ -139,6 +154,22 @@ def test_sharded_rollout_w4(benchmark):
 def test_sharded_rollout_w2_shm(benchmark):
     """Worker-pool engine over the shared-memory ring transport."""
     _bench_sharded(benchmark, 2, transport="shm")
+
+
+def test_sharded_rollout_w2_ragged(benchmark):
+    """Worker-pool engine on the ragged env family: the bounded-probe
+    stopping-round negotiation instead of the one-command fast path."""
+    collector = _make_sharded_collector(N_ENVS, 2, ragged=True)
+    rng = np.random.default_rng(SEED + 1)
+    try:
+        benchmark.pedantic(
+            lambda: collector.collect(N_ENVS, rng),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+        benchmark.extra_info["episodes_per_round"] = N_ENVS
+        benchmark.extra_info["ragged"] = True
+    finally:
+        collector.close()
 
 
 # -- standalone steps/s table + JSON artifact ---------------------------------
@@ -211,9 +242,55 @@ def run_benchmark(n_envs=N_ENVS, worker_counts=WORKER_COUNTS,
                 shm_record["env_steps_per_s"] / pipe_record["env_steps_per_s"]
             )
 
+    # Ragged axis: the same engines on the overflow-terminating env family
+    # (the sharded engines run the bounded-probe stopping-round negotiation
+    # instead of the one-command fast path).  Episode lengths vary under
+    # data-dependent termination, so the honest unit here is completed
+    # episodes per second; ``ragged_vs_fixed`` compares against the same
+    # engine's fixed-length episode rate, folding together the protocol
+    # overhead and the shorter episodes.
+    ragged_vector = _make_vector_collector(
+        n_envs, episode_limit=episode_limit, ragged=True
+    )
+    ragged_vector_rate = _measure(
+        lambda: ragged_vector.collect(n_envs, rng), n_envs, repeats
+    )
+    engines[f"vector_n{n_envs}_ragged"] = {
+        "episodes_per_s": ragged_vector_rate,
+        "n_envs": n_envs,
+        "ragged": True,
+        "ragged_vs_fixed": (
+            ragged_vector_rate / (vector_rate / episode_limit)
+        ),
+    }
+    for transport in transports:
+        for n_workers in worker_counts:
+            sharded = _make_sharded_collector(
+                n_envs, n_workers, episode_limit=episode_limit,
+                transport=transport, ragged=True,
+            )
+            try:
+                rate = _measure(
+                    lambda: sharded.collect(n_envs, rng), n_envs, repeats
+                )
+            finally:
+                sharded.close()
+            fixed = sharded_records[(n_workers, transport)]
+            engines[f"sharded_n{n_envs}_w{n_workers}_{transport}_ragged"] = {
+                "episodes_per_s": rate,
+                "n_envs": n_envs,
+                "n_workers": n_workers,
+                "transport": transport,
+                "ragged": True,
+                "ragged_vs_fixed": (
+                    rate / (fixed["env_steps_per_s"] / episode_limit)
+                ),
+            }
+
     for record in engines.values():
-        record.setdefault("speedup_vs_serial",
-                          record["env_steps_per_s"] / serial_rate)
+        if "env_steps_per_s" in record:
+            record.setdefault("speedup_vs_serial",
+                              record["env_steps_per_s"] / serial_rate)
     return {
         "benchmark": "parallel_rollout",
         "framework": "proposed",
@@ -247,10 +324,17 @@ def main():
         document = run_benchmark(transports=tuple(args.transports))
 
     serial_rate = document["engines"]["serial"]["env_steps_per_s"]
-    print(f"{'engine':>22}  {'env steps/s':>12}  {'vs serial':>10}")
+    print(f"{'engine':>34}  {'rate':>12}  {'relative':>10}")
     for name, record in document["engines"].items():
-        rate = record["env_steps_per_s"]
-        print(f"{name:>22}  {rate:>12.1f}  {rate / serial_rate:>9.2f}x")
+        if "env_steps_per_s" in record:
+            rate = record["env_steps_per_s"]
+            relative = rate / serial_rate
+            unit = "steps/s"
+        else:  # ragged axis: completed episodes per second
+            rate = record["episodes_per_s"]
+            relative = record["ragged_vs_fixed"]
+            unit = "eps/s"
+        print(f"{name:>34}  {rate:>10.1f} {unit:<7}  {relative:>9.2f}x")
     path = write_bench_json(JSON_NAME, document, args.json_dir)
     print(f"\nwrote {path} (cpu_count={document['cpu_count']})")
 

@@ -46,6 +46,11 @@ class SingleHopConfig:
         conserve_packets: Paper-literal mode when False (an edge may
             schedule more outflow than it holds, and the cloud receives the
             scheduled amount); physically-conservative extension when True.
+        terminate_on_overflow: When True the episode also ends the moment
+            any *cloud* queue overflows (a lost-packet event), making
+            episode length data-dependent: ``episode_limit`` becomes a
+            horizon *cap* instead of the exact length.  Off by default —
+            the paper's MDP terminates on the fixed horizon only.
     """
 
     n_clouds: int = 2
@@ -58,6 +63,7 @@ class SingleHopConfig:
     episode_limit: int = 100
     initial_queue_level: object = 0.5
     conserve_packets: bool = False
+    terminate_on_overflow: bool = False
 
     def __post_init__(self):
         if self.n_clouds < 1 or self.n_agents < 1:
@@ -378,7 +384,11 @@ class TrainingConfig:
         the configured count: with fixed-length episodes all copies finish
         in lockstep, so a non-divisor count would fully collect — then
         silently discard — up to ``n_envs - 1`` surplus episodes every
-        epoch.  A divisor wastes nothing.
+        epoch.  A divisor wastes nothing.  For ragged envs
+        (data-dependent termination) completion is no longer lockstep and
+        some discard is unavoidable in the final round; the divisor clamp
+        stays because it is still the right choice for the fixed-length
+        family and harmless for the ragged one.
         """
         configured = min(self.rollout_envs, self.episodes_per_epoch)
         while self.episodes_per_epoch % configured:

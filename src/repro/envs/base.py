@@ -99,6 +99,14 @@ class MultiAgentEnv:
     action_space = None
     state_size = 0
 
+    #: Whether episodes can end *before* the horizon on a data-dependent
+    #: event (e.g. a queue overflow).  The vectorized and sharded rollout
+    #: engines consult this flag: fixed-length envs keep the lockstep fast
+    #: path, ragged envs get per-row episode boundaries.  Subclasses with
+    #: data-dependent termination must override this (attribute or
+    #: property) to return True.
+    has_data_dependent_termination = False
+
     def reset(self):
         """Start a new episode; returns ``(observations, state)``."""
         raise NotImplementedError

@@ -70,9 +70,13 @@ class MultiHopOffloadEnv(MultiAgentEnv):
         w_r: Overflow penalty weight (Eq. 1).
         service_rate: Outflow volume per step for relays and sinks.
         queue_capacity: ``q_max`` shared by every node.
-        episode_limit: Steps per episode.
+        episode_limit: Steps per episode (a hard cap when
+            ``terminate_on_overflow`` is set).
         initial_queue_level: Starting level (fraction of capacity).
         rng: Arrival generator.
+        terminate_on_overflow: End the episode the moment any non-agent
+            (relay or sink) queue overflows, making episode length
+            data-dependent instead of fixed at ``episode_limit``.
 
     Observations: each agent sees its own queue level (now and previous)
     plus the queue levels of its direct successors — the multi-hop
@@ -90,6 +94,7 @@ class MultiHopOffloadEnv(MultiAgentEnv):
         episode_limit=50,
         initial_queue_level=0.5,
         rng=None,
+        terminate_on_overflow=False,
     ):
         if not nx.is_directed_acyclic_graph(topology):
             raise ValueError("topology must be a DAG")
@@ -132,6 +137,8 @@ class MultiHopOffloadEnv(MultiAgentEnv):
         self.service_rate = float(service_rate)
         self.queue_capacity = float(queue_capacity)
         self.episode_limit = int(episode_limit)
+        self.terminate_on_overflow = bool(terminate_on_overflow)
+        self.has_data_dependent_termination = self.terminate_on_overflow
         self.rng = rng if rng is not None else np.random.default_rng()
         self.arrivals = UniformArrivals(self.w_p, self.queue_capacity)
 
@@ -244,6 +251,8 @@ class MultiHopOffloadEnv(MultiAgentEnv):
 
         self._t += 1
         done = self._t >= self.episode_limit
+        if self.terminate_on_overflow and bool(network_update.overflow.any()):
+            done = True
         observations = self._observations()
 
         all_levels = np.concatenate(

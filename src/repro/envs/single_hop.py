@@ -64,6 +64,11 @@ class SingleHopOffloadEnv(MultiAgentEnv):
         self._prev_edge_levels = None
         self._t = 0
 
+    @property
+    def has_data_dependent_termination(self):
+        """True when ``terminate_on_overflow`` makes episode length ragged."""
+        return self.config.terminate_on_overflow
+
     # -- action coding --------------------------------------------------------
 
     def decode_action(self, action):
@@ -144,6 +149,8 @@ class SingleHopOffloadEnv(MultiAgentEnv):
         reward = self._reward(cloud_update)
         self._t += 1
         done = self._t >= cfg.episode_limit
+        if cfg.terminate_on_overflow and bool(cloud_update.overflow.any()):
+            done = True
 
         observations = self._observations()
         info = self._info(cloud_update, edge_update, destinations, sent)

@@ -23,7 +23,20 @@ Design contract (pinned by ``tests/test_vector_env.py``):
   generator; the :class:`VectorStepResult` carries both the terminal
   (``final_observations`` / ``final_states``) and the freshly reset
   (``observations`` / ``states``) views so rollout collectors can store the
-  true terminal transition while continuing without a pause.
+  true terminal transition while continuing without a pause.  The terminal
+  views are snapshotted *before* the reset runs, so they stay valid even if
+  a subclass hands out views into reused stacked buffers.
+- **Ragged episodes.**  Termination is per row: :meth:`VectorEnv.step`
+  asks the :meth:`VectorEnv._row_done` hook for an ``(N,)`` mask after
+  advancing the step counters.  The default is the fixed-horizon check
+  (bit-identical to the historical behaviour); subclasses with
+  data-dependent termination (e.g. ``terminate_on_overflow``) OR extra
+  per-row conditions in and advertise it via
+  ``has_data_dependent_termination`` so the rollout engines can switch
+  from lockstep to ragged accounting.  Every row keeps stepping every
+  round (finished rows restart immediately under auto-reset), which keeps
+  the one-batched-call-per-step shape and the per-row RNG streams intact
+  regardless of how lengths vary.
 
 Use :func:`make_vector_env` to vectorize an existing serial env: row 0
 reuses the serial env's generator (so an ``N=1`` vector rollout consumes
@@ -99,9 +112,17 @@ class VectorStepResult:
 
     @property
     def infos(self):
-        """Per-env serial-parity info dicts (materialised on demand)."""
+        """Per-env serial-parity info dicts (materialised on demand).
+
+        The builder's inputs are snapshotted at step time (the
+        ``_apply_actions`` contract), so reading ``infos`` after further
+        ``step()`` / ``reset_rows()`` calls still returns *this* step's
+        values.  The builder reference is dropped after the first access so
+        the captured per-step arrays can be freed once materialised.
+        """
         if self._infos is None:
-            self._infos = self._info_builder()
+            builder, self._info_builder = self._info_builder, None
+            self._infos = builder()
         return self._infos
 
     def __iter__(self):
@@ -121,8 +142,14 @@ class VectorEnv:
     stacked state one step; returns ``(rewards, stats, info_builder)``
     where ``stats`` is the vectorized ``(mean_queues, empty_ratios,
     overflow_ratios)`` triple and ``info_builder`` lazily materialises the
-    serial-parity per-env info dicts) and ``_observations()`` (stacked
-    ``(N, n_agents, obs_size)`` views).
+    serial-parity per-env info dicts — the builder must close over
+    *snapshots* taken during the step, never over live stacked state, so
+    ``VectorStepResult.infos`` stays correct after later steps or resets)
+    and ``_observations()`` (stacked ``(N, n_agents, obs_size)`` views).
+    Subclasses with data-dependent termination additionally override
+    :meth:`_row_done` (typically OR-ing a mask stashed by
+    ``_apply_actions`` into the horizon check) and advertise themselves
+    via ``has_data_dependent_termination``.
 
     Args:
         n_envs: Number of lockstep copies.
@@ -136,6 +163,8 @@ class VectorEnv:
     observation_size = 0
     state_size = 0
     episode_limit = 0
+    #: Mirrors :attr:`repro.envs.base.MultiAgentEnv.has_data_dependent_termination`.
+    has_data_dependent_termination = False
 
     def __init__(self, n_envs, rngs=None, auto_reset=True):
         if n_envs < 1:
@@ -166,6 +195,18 @@ class VectorEnv:
     def _states(self, observations):
         """Global state per copy = concatenated agent observations."""
         return observations.reshape(self.n_envs, -1)
+
+    def _row_done(self):
+        """``(N,)`` termination mask for the step just applied.
+
+        Called by :meth:`step` after the step counters were advanced.  The
+        default is the fixed-horizon check — bit-identical to the
+        pre-ragged behaviour for every existing env.  Overrides must return
+        a *fresh* boolean array each step (never a view into reused
+        storage): the mask outlives the step inside its
+        :class:`VectorStepResult`.
+        """
+        return self._t >= self.episode_limit
 
     # -- protocol -------------------------------------------------------------
 
@@ -199,11 +240,16 @@ class VectorEnv:
             )
         rewards, stats, info_builder = self._apply_actions(actions)
         self._t += 1
-        dones = self._t >= self.episode_limit
+        dones = self._row_done()
         observations = self._observations()
         states = self._states(observations)
         final_observations, final_states = observations, states
         if self.auto_reset and dones.any():
+            # Snapshot the terminal views before the reset runs: a subclass
+            # may hand out views into reused stacked buffers, and the done
+            # rows' pre-reset values must survive the re-initialisation.
+            final_observations = observations.copy()
+            final_states = states.copy()
             observations, states = self.reset_rows(np.flatnonzero(dones))
         return VectorStepResult(
             observations, states, rewards, dones, stats, info_builder,
@@ -255,6 +301,18 @@ class SingleHopVectorEnv(VectorEnv):
         self._prev_edge_levels = np.zeros((self.n_envs, self.n_agents))
         self._amounts = np.asarray(cfg.packet_amounts, dtype=np.float64)
         self._env_index = np.arange(self.n_envs)
+        self._overflow_terminated = None
+
+    @property
+    def has_data_dependent_termination(self):
+        """True when ``terminate_on_overflow`` makes episode length ragged."""
+        return self.config.terminate_on_overflow
+
+    def _row_done(self):
+        dones = super()._row_done()
+        if self.config.terminate_on_overflow:
+            dones |= self._overflow_terminated
+        return dones
 
     def _reset_rows(self, rows):
         # Same draw order as the serial env's reset: edge bank, then clouds.
@@ -304,6 +362,10 @@ class SingleHopVectorEnv(VectorEnv):
             cloud_update.overflow, cloud_update.q_hat * cfg.w_r, 0.0
         )
         rewards = -np.sum(empty_penalty + overflow_penalty, axis=1)
+        if cfg.terminate_on_overflow:
+            # Stash for _row_done; .any(axis=1) allocates a fresh mask, so
+            # the step result never aliases reused storage.
+            self._overflow_terminated = cloud_update.overflow.any(axis=1)
 
         n_slots = self.n_agents + self.n_clouds
         stats = (
@@ -433,6 +495,18 @@ class MultiHopVectorEnv(VectorEnv):
         self._prev_agent_levels = np.zeros((self.n_envs, self.n_agents))
         self._env_index = np.arange(self.n_envs)
         self._agent_index = np.arange(self.n_agents)
+        self._overflow_terminated = None
+
+    @property
+    def has_data_dependent_termination(self):
+        """True when the template env terminates on network overflow."""
+        return self._template.terminate_on_overflow
+
+    def _row_done(self):
+        dones = super()._row_done()
+        if self._template.terminate_on_overflow:
+            dones |= self._overflow_terminated
+        return dones
 
     def _reset_rows(self, rows):
         # Same draw order as the serial env: agent bank, then network bank.
@@ -494,6 +568,8 @@ class MultiHopVectorEnv(VectorEnv):
             network_update.overflow, network_update.q_hat * template.w_r, 0.0
         )
         rewards = -np.sum(empty_penalty + overflow_penalty, axis=1)
+        if template.terminate_on_overflow:
+            self._overflow_terminated = network_update.overflow.any(axis=1)
 
         n_slots = self.n_agents + self._n_network
         stats = (
@@ -595,4 +671,5 @@ def make_vector_env(env, n_envs, rngs=None, auto_reset=True):
         queue_capacity=env.queue_capacity,
         episode_limit=env.episode_limit,
         initial_queue_level=env._agent_queues.initial_level,
+        terminate_on_overflow=env.terminate_on_overflow,
     )

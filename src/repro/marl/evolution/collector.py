@@ -22,7 +22,11 @@ action-sampling stream replay, both transition transports, crash
 restart-and-requeue from checkpoints, the ``(round, row)`` reassembly
 order — is inherited unchanged, which is exactly why sharded ES is
 bit-identical to in-process ES for any worker count over either transport
-(pinned by the ES axis of the unified cross-engine harness).
+(pinned by the ES axis of the unified cross-engine harness).  That
+includes the ragged-env round protocol, but the ES *trainer* rejects
+ragged envs up front: its fitness attribution maps episode position to
+population member positionally, which only holds under lockstep
+completion (see :class:`~repro.marl.evolution.trainer.ESTrainer`).
 """
 
 from __future__ import annotations

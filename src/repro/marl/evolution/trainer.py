@@ -71,8 +71,10 @@ class ESTrainer:
     """Evolutionary-strategies trainer over an actor team (no critic).
 
     Args:
-        env: A :class:`~repro.envs.base.MultiAgentEnv` (fixed-length
-            episodes; the lockstep engines require it).
+        env: A :class:`~repro.envs.base.MultiAgentEnv` with fixed-length
+            episodes — the rollout engines handle ragged envs, but ES
+            fitness attribution is positional and requires lockstep
+            completion (rejected up front otherwise).
         actor_group: The live :class:`~repro.marl.actors.ActorGroup` whose
             weights ES trains in place.
         config: :class:`~repro.config.TrainingConfig` with
@@ -91,6 +93,18 @@ class ESTrainer:
             raise ValueError(
                 f"ESTrainer needs TrainingConfig(trainer='es'), "
                 f"got trainer={config.trainer!r}"
+            )
+        if getattr(env, "has_data_dependent_termination", False):
+            # member_fitness maps episode j to member j % n_envs % P — a
+            # positional rule that only holds when every row finishes an
+            # episode every round (lockstep completion).  Ragged envs break
+            # it silently, so reject them up front.
+            raise ValueError(
+                "ESTrainer needs fixed-length episodes: its fitness "
+                "attribution maps episodes to population members by "
+                "position, which data-dependent termination (e.g. "
+                "terminate_on_overflow) breaks; use the gradient trainer "
+                "for ragged envs"
             )
         self.env = env
         self.actors = actor_group

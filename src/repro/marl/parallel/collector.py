@@ -24,13 +24,19 @@ Determinism contract (pinned by ``tests/test_parallel_rollout.py``):
   sampling replays the global shared stream (see
   :class:`~repro.marl.parallel.worker.ShardActionAdapter`).  Transitively,
   ``N=1, W=1`` is bit-identical to the serial reference loop.
-- The environments terminate on a fixed time limit, so all lockstep copies
-  finish episodes at the same steps.  The parent exploits this to dispatch
-  without per-step synchronisation: a quota of ``n_episodes`` takes exactly
-  ``ceil(n_episodes / N)`` full episode rounds on every shard, matching the
-  in-process engine's stopping step (and its deterministic discard of any
-  surplus).  Environments with data-dependent termination would need a
-  step-synchronised protocol and are rejected up front.
+- Every copy steps every lockstep round (finished copies restart under
+  auto-reset), so the only cross-shard coupling is the *stopping round*:
+  the first round at which the copies have jointly completed the quota.
+  For fixed-length envs that round is known a priori
+  (``ceil(n_episodes / N) * episode_limit``) and one command per worker
+  commits the whole collect — the historical fast path, bit-identical to
+  before.  For ragged envs (``has_data_dependent_termination``) the parent
+  runs a bounded-probe negotiation: workers advance to an absolute round
+  bound and report per-round completion counts, the parent accumulates
+  them globally until the quota round is pinned, then finalizes — workers
+  rewind any speculative overshoot from a snapshot before committing.
+  Episodes reassemble in global (completion round, row) order either way,
+  matching the in-process engine's ordering and surplus discard exactly.
 
 Worker lifecycle: processes are daemonic (the OS reaps them if the parent
 dies without cleanup), :meth:`close` shuts them down gracefully, and a crash
@@ -76,6 +82,13 @@ def estimate_episode_block_bytes(env, episode_limit):
     observations and their successors as float64, int64 actions, float64
     rewards, bool dones) — the quantity the ``"auto"`` transport rule
     compares against :data:`AUTO_SHM_MIN_BLOCK_BYTES`.
+
+    For ragged envs this is the **worst case**: ``episode_limit`` is the
+    horizon cap, so every episode block fits regardless of where
+    data-dependent termination actually cuts it.  Sizing rings from the
+    cap keeps shm allocation independent of the data; the on-wire framing
+    self-describes each block's actual length, so shorter episodes simply
+    occupy smaller slots.
     """
     n_agents = env.n_agents
     state_size = int(getattr(env, "state_size", 0))
@@ -217,17 +230,32 @@ class ShardedRolloutCollector:
             raise ValueError(
                 f"env has {env.n_agents} agents, group has {actors.n_agents}"
             )
-        # SingleHop keeps the limit on its config; MultiHop on the env itself.
+        # SingleHop keeps the limit on its config; MultiHop on the env
+        # itself.  Resolve explicitly — the attribute wins when both exist,
+        # and only a truly absent limit (None everywhere) means unbounded.
         episode_limit = getattr(env, "episode_limit", None)
-        if episode_limit is None and getattr(env, "config", None) is not None:
-            episode_limit = getattr(env.config, "episode_limit", None)
-        episode_limit = int(episode_limit or 0)
+        if episode_limit is None:
+            config = getattr(env, "config", None)
+            if config is not None:
+                episode_limit = getattr(config, "episode_limit", None)
+        if episode_limit is None:
+            raise ValueError(
+                "ShardedRolloutCollector needs a horizon cap: the env "
+                "declares no episode_limit (neither on itself nor on its "
+                "config), so episodes may be unbounded — the cap is what "
+                "bounds shm block sizing and guarantees the ragged round "
+                "protocol makes progress"
+            )
+        episode_limit = int(episode_limit)
         if episode_limit < 1:
             raise ValueError(
-                "ShardedRolloutCollector needs fixed-length episodes (a "
-                "positive episode_limit); data-dependent termination would "
-                "require per-step synchronisation across shards"
+                f"episode_limit must be >= 1, got {episode_limit}"
             )
+        # Ragged envs finish episodes at data-dependent rounds; the collect
+        # protocol switches from the one-shot fast path to bounded probing.
+        self.ragged = bool(
+            getattr(env, "has_data_dependent_termination", False)
+        )
         self.env = env
         self.actors = actors
         self.n_envs = int(n_envs)
@@ -353,25 +381,32 @@ class ShardedRolloutCollector:
             raise RuntimeError("collector is closed")
         if n_episodes < 1:
             raise ValueError("n_episodes must be >= 1")
-        rounds = -(-n_episodes // self.n_envs)  # ceil division
         action_state = get_rng_state(rng)
         weight_states = self._actor_weight_states()
         # Captured once per collect, like the rng state: workers mirror the
-        # parent's telemetry flag for this round and attach their registry
-        # snapshots to the reply when it is on.
+        # parent's telemetry flag for this pass and attach their registry
+        # snapshots to the final reply when it is on.
         telemetry = obs.enabled()
 
-        def command_for(worker):
-            return (
-                "collect",
-                rounds * worker.n_rows,
-                greedy,
-                action_state,
-                weight_states,
-                telemetry,
-            )
+        def command_for(bound, finalize):
+            spec = {
+                "bound": int(bound),
+                "finalize": bool(finalize),
+                "greedy": greedy,
+                "action_rng": action_state,
+                "weights": weight_states,
+                "telemetry": telemetry,
+            }
+            return lambda worker: ("collect", spec)
 
-        replies = self._exchange(command_for)
+        if not self.ragged:
+            # Fixed-length fast path: every row completes an episode every
+            # episode_limit rounds, so the stopping round is known a priori
+            # and one exchange commits the whole collect.
+            stop_round = -(-n_episodes // self.n_envs) * self.episode_limit
+        else:
+            stop_round = self._negotiate_stop_round(n_episodes, command_for)
+        replies = self._exchange(command_for(stop_round, True))
 
         # Every worker advances an identical replica of the shared action
         # stream; divergence means the lockstep bookkeeping broke.
@@ -395,17 +430,50 @@ class ShardedRolloutCollector:
                 if snap:
                     obs.merge_snapshot(snap)
 
-        # Reassemble in the in-process completion order: episodes finish in
-        # rounds (all copies share the time-limit boundary), rows ascending
-        # within each round — i.e. round-major, global-row-minor.
+        # Reassemble in the in-process completion order — round-major,
+        # global-row-minor.  Each worker ships its episodes in local
+        # (round, row) order plus per-round completion counts; interleaving
+        # by counts restores the global order for fixed and ragged envs
+        # alike (fixed envs complete n_rows per worker every episode_limit
+        # rounds, reducing this to the historical block interleave).
         episodes, stats = [], []
-        for r in range(rounds):
-            for worker, reply in zip(self._workers, replies):
-                lo = r * worker.n_rows
-                hi = lo + worker.n_rows
-                episodes.extend(reply["episodes"][lo:hi])
-                stats.extend(reply["stats"][lo:hi])
+        offsets = [0] * len(replies)
+        for r in range(stop_round):
+            for w, reply in enumerate(replies):
+                count = reply["counts"][r]
+                if count:
+                    lo = offsets[w]
+                    episodes.extend(reply["episodes"][lo:lo + count])
+                    stats.extend(reply["stats"][lo:lo + count])
+                    offsets[w] = lo + count
         return episodes[:n_episodes], stats[:n_episodes]
+
+    def _negotiate_stop_round(self, n_episodes, command_for):
+        """Pin the global stopping round for a ragged collect.
+
+        Workers advance to an absolute round bound and reply with their
+        full per-round completion-count history (idempotent under crash
+        replay: a restarted worker re-runs from the committed state and the
+        parent simply overwrites its counts).  The first probe is
+        ``ceil(n_episodes / N)`` — a true lower bound, since at most ``N``
+        episodes complete per round, and exactly the fixed-length stopping
+        quotient.  While the quota is unmet the bound grows by the
+        episodes still missing at one-per-row-per-round; the horizon cap
+        forces at least one completion per row every ``episode_limit``
+        rounds, so the loop terminates.
+        """
+        bound = -(-n_episodes // self.n_envs)  # ceil division
+        while True:
+            replies = self._exchange(command_for(bound, False))
+            counts = np.zeros(bound, dtype=np.int64)
+            for reply in replies:
+                counts += np.asarray(reply["counts"], dtype=np.int64)
+            cumulative = np.cumsum(counts)
+            reached = np.flatnonzero(cumulative >= n_episodes)
+            if reached.size:
+                return int(reached[0]) + 1
+            shortfall = n_episodes - int(cumulative[-1])
+            bound += max(1, -(-shortfall // self.n_envs))
 
     # -- lifecycle ------------------------------------------------------------
 

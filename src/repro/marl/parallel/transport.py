@@ -16,6 +16,11 @@ payloads) come back:
   as ``(header, dtype/shape table, packed payload)`` slots and the parent
   adopts zero-copy views of the payload, assembling them into episodes
   before releasing the slots for reuse.  No pickling touches the arrays.
+  The dtype/shape table makes every block self-describing: ragged episodes
+  (data-dependent termination) ship at their **actual** length, while ring
+  and slot sizing stays a worst-case bound derived from the horizon cap
+  (:func:`~repro.marl.parallel.collector.estimate_episode_block_bytes`),
+  so allocation never depends on the data.
 
 The choice is a :class:`Transport` seam: the collector instantiates one
 transport per worker, the worker side mirrors it with a

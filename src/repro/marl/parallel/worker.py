@@ -26,8 +26,22 @@ Determinism contract (why a shard is bit-identical to its rows in-process):
 
 The worker main loop answers ``init`` / ``collect`` / ``ping`` / ``close``
 commands (plus a crash-injection hook for the restart tests) and returns a
-checkpoint of its full shard state with every collect, which is what makes
-parent-side crash recovery replay-exact.
+checkpoint of its full shard state with every committed collect, which is
+what makes parent-side crash recovery replay-exact.
+
+``collect`` commands carry an *absolute* lockstep-round bound.  For
+fixed-length envs the parent knows the stopping round a priori and one
+``finalize`` command commits the whole pass — the historical single
+round-trip.  For ragged envs (data-dependent termination) the stopping
+round is a global property no shard can see alone, so the parent probes:
+non-final commands advance the shard to the bound and reply only with the
+full per-round completion-count history, the worker keeps the pass open
+(snapshotting at each probed bound), and the final command commits at the
+globally agreed stopping round — rewinding first if the shard speculated
+past it.  Absolute bounds plus full count histories make every command
+idempotent from the last committed checkpoint, so the parent's
+restart-and-replay crash recovery needs no extra cases: a restarted worker
+simply re-runs the pass from round zero to the commanded bound.
 """
 
 from __future__ import annotations
@@ -125,6 +139,7 @@ class _WorkerState:
         self.collector = VectorRolloutCollector(self.vector_env, adapter)
         if checkpoint is not None:
             self.collector.restore_carry_state(checkpoint["carry"])
+        self._session = None
 
     def _load_weights(self, weight_states):
         if weight_states is None:
@@ -139,28 +154,87 @@ class _WorkerState:
             if state is not None:
                 actor.load_state_dict(state)
 
-    def collect(self, quota, greedy, action_rng_state, weight_states,
-                telemetry=False):
-        """Run one collect round on the shard; returns the reply dict.
+    def _begin_session(self, spec):
+        """Open a collection pass from the last committed shard state.
 
-        ``telemetry`` mirrors the parent's obs flag into this process for
-        the duration of the round; when set, the worker's registry snapshot
-        (reset afterwards, so rounds never double-count) rides the reply's
-        control payload back for deterministic parent-side merging.
+        ``spec["telemetry"]`` mirrors the parent's obs flag into this
+        process for the duration of the pass; when set, the worker's
+        registry snapshot (reset at commit, so passes never double-count)
+        rides the final reply's control payload back for deterministic
+        parent-side merging.
         """
-        if obs.enabled() != bool(telemetry):
-            obs.set_enabled(bool(telemetry))
-        self._load_weights(weight_states)
-        rng = rng_from_state(action_rng_state)
-        episodes, stats = self.collector.collect(quota, rng, greedy=greedy)
+        if obs.enabled() != bool(spec["telemetry"]):
+            obs.set_enabled(bool(spec["telemetry"]))
+        self._load_weights(spec["weights"])
+        return {
+            "rng": rng_from_state(spec["action_rng"]),
+            "state": self.collector.begin_rounds(),
+            "greedy": bool(spec["greedy"]),
+            "snapshot": None,
+        }
+
+    def _take_snapshot(self, session):
+        session["snapshot"] = {
+            "collector": self.collector.snapshot_rounds(session["state"]),
+            "action_rng": get_rng_state(session["rng"]),
+        }
+
+    def _rewind(self, session):
+        """Un-run speculative rounds: back to the last snapshotted bound."""
+        snapshot = session["snapshot"]
+        self.collector.restore_rounds(snapshot["collector"], session["state"])
+        session["rng"] = rng_from_state(snapshot["action_rng"])
+        self.vector_env = self.collector.vector_env
+
+    def collect(self, spec):
+        """Advance the shard's pass to ``spec["bound"]`` lockstep rounds.
+
+        Non-final commands reply with the pass's full per-round completion
+        counts and keep it open; ``spec["finalize"]`` commits at exactly
+        the bound and returns episodes, stats, RNG positions, and the
+        crash checkpoint.  Bounds are absolute, so a replayed command on a
+        freshly restarted worker (no open session) reproduces the dead
+        incarnation's trajectory bit-exactly from the committed state.
+        """
+        session = self._session
+        if session is None:
+            session = self._session = self._begin_session(spec)
+            # Probing passes may be rewound by the eventual finalize;
+            # one-shot commits (the fixed-length fast path, or a finalize
+            # replayed after a crash) never rewind, so they skip the copy.
+            if not spec["finalize"]:
+                self._take_snapshot(session)
+        state = session["state"]
+        bound = int(spec["bound"])
+        if bound < state.rounds:
+            self._rewind(session)
+        elif not spec["finalize"] and state.rounds > 0:
+            # The parent is probing further, which proves the stopping
+            # round lies past everything run so far — shift the rewind
+            # point up before speculating onward.
+            self._take_snapshot(session)
+        self.collector.run_rounds(
+            state, session["rng"], greedy=session["greedy"], max_rounds=bound
+        )
+        if not spec["finalize"]:
+            return {"counts": state.counts_per_round()}
+        self._session = None
+        return self._commit(session, bool(spec["telemetry"]))
+
+    def _commit(self, session, telemetry):
+        state = session["state"]
+        self.vector_env = self.collector.vector_env
         checkpoint = {
             "vector_env": self.vector_env,
             "carry": self.collector.carry_state(),
         }
+        if obs.enabled():
+            self.collector.publish_telemetry(state)
         reply = {
-            "episodes": episodes,
-            "stats": stats,
-            "action_rng": get_rng_state(rng),
+            "episodes": state.completed,
+            "stats": state.completed_stats,
+            "counts": state.counts_per_round(),
+            "action_rng": get_rng_state(session["rng"]),
             "row_rngs": [get_rng_state(r) for r in self.vector_env.rngs],
             "checkpoint": checkpoint,
         }
@@ -214,7 +288,7 @@ def worker_main(connection, transport_info=None):
             elif command == "collect":
                 if state is None:
                     raise RuntimeError("'collect' before 'init'")
-                reply = state.collect(*message[1:])
+                reply = state.collect(message[1])
             elif command == "ping":
                 reply = "pong"
             else:

@@ -23,25 +23,77 @@ Determinism contract:
   consumes one shared stream in (copy, agent) row-major order, and each
   copy's environment draws come from its own child stream.
 
-Episodes complete in (step, copy index) order; partially collected episodes
-left in flight when ``collect`` returns are discarded, and their copies are
-re-initialised at the start of the next call.
+Episodes complete in (step, copy index) order — for ragged envs
+(data-dependent termination) that order is the collection contract: every
+copy steps every lockstep round, finished copies restart immediately, and
+completions are appended round-by-round in ascending copy order.
+Partially collected episodes left in flight when ``collect`` returns are
+discarded, and their copies are re-initialised at the start of the next
+call.
 
 This collector is also the engine each worker of the process-sharded
 subsystem runs over its shard (:mod:`repro.marl.parallel`): the worker
 substitutes an actor-group adapter whose ``act_batch`` consumes the global
 action stream, and everything else — stepping, stat accounting, auto-reset
-carry-over — is exactly this code.
+carry-over — is exactly this code.  The worker drives the loop through the
+round-bounded session API (:meth:`VectorRolloutCollector.begin_rounds` /
+:meth:`~VectorRolloutCollector.run_rounds` over a :class:`RoundState`)
+because for ragged envs the stopping round is a *global* property the
+parent determines across all shards; :meth:`VectorRolloutCollector.collect`
+is the same loop with the local episode quota as the stopping rule.
 """
 
 from __future__ import annotations
+
+import copy
 
 import numpy as np
 
 from repro import obs
 from repro.marl.buffer import Episode
 
-__all__ = ["VectorRolloutCollector"]
+__all__ = ["RoundState", "VectorRolloutCollector"]
+
+
+class RoundState:
+    """Mutable loop state of one collection pass, resumable across calls.
+
+    Holds the per-copy staging (in-flight :class:`Episode` objects and the
+    Fig. 3 stat accumulators) plus the completed output lists.  Each
+    completion is tagged with the 1-based lockstep round it finished on
+    (``completed_rounds``) so the sharded parent can interleave shards
+    back into global (round, row) completion order.
+    """
+
+    __slots__ = (
+        "episodes",
+        "queue_sums",
+        "empty_sums",
+        "overflow_sums",
+        "steps",
+        "completed",
+        "completed_stats",
+        "completed_rounds",
+        "rounds",
+    )
+
+    def __init__(self, n_envs):
+        self.episodes = [Episode() for _ in range(n_envs)]
+        self.queue_sums = np.zeros(n_envs)
+        self.empty_sums = np.zeros(n_envs)
+        self.overflow_sums = np.zeros(n_envs)
+        self.steps = np.zeros(n_envs, dtype=np.int64)
+        self.completed = []
+        self.completed_stats = []
+        self.completed_rounds = []
+        self.rounds = 0
+
+    def counts_per_round(self):
+        """Completion counts for rounds ``1..rounds`` as a plain list."""
+        counts = [0] * self.rounds
+        for round_index in self.completed_rounds:
+            counts[round_index - 1] += 1
+        return counts
 
 
 class VectorRolloutCollector:
@@ -123,25 +175,56 @@ class VectorRolloutCollector:
         """
         if n_episodes < 1:
             raise ValueError("n_episodes must be >= 1")
+        state = self.begin_rounds()
+        self.run_rounds(state, rng, greedy=greedy, episode_quota=n_episodes)
+        # Boundary-level accounting: the per-step quantities are already
+        # tracked by the loop, so telemetry costs one publish per collect,
+        # not per step.  Inside a sharded worker these counters land in the
+        # worker's local registry and ride the snapshot reply to the parent.
+        if obs.enabled():
+            self.publish_telemetry(state)
+        return state.completed[:n_episodes], state.completed_stats[:n_episodes]
+
+    # -- round-bounded session API (the sharded ragged protocol) --------------
+
+    def begin_rounds(self):
+        """Start a collection pass: prepare all rows, return a fresh state.
+
+        After :meth:`_prepare` every copy sits at an episode start, so the
+        returned :class:`RoundState` (empty staging, zeroed accumulators)
+        describes the loop exactly — which is what makes
+        :meth:`snapshot_rounds` / :meth:`restore_rounds` sufficient for
+        replaying the pass from any captured point.
+        """
         self._prepare()
+        return RoundState(self.vector_env.n_envs)
+
+    def run_rounds(self, state, rng, greedy=False, *, max_rounds=None,
+                   episode_quota=None):
+        """Advance lockstep rounds, accumulating completions into ``state``.
+
+        Stops before the first round that would exceed ``max_rounds``
+        (absolute, counted from the pass start) or once ``state`` holds at
+        least ``episode_quota`` completed episodes — whichever stopping
+        rule is given; both may be combined.  All copies step every round;
+        completions append in (round, copy index) order.
+        """
         env = self.vector_env
         n = env.n_envs
-        episodes = [Episode() for _ in range(n)]
-        queue_sums = np.zeros(n)
-        empty_sums = np.zeros(n)
-        overflow_sums = np.zeros(n)
-        steps = np.zeros(n, dtype=np.int64)
-        completed, completed_stats = [], []
-        lockstep_rounds = 0
-        while len(completed) < n_episodes:
-            lockstep_rounds += 1
+        while True:
+            if max_rounds is not None and state.rounds >= max_rounds:
+                break
+            if (episode_quota is not None
+                    and len(state.completed) >= episode_quota):
+                break
+            state.rounds += 1
             actions = self.actors.act_batch(
                 self._observations, rng, greedy=greedy
             )
             result = env.step(actions)
             self._fresh[:] = False
             for i in range(n):
-                episodes[i].add(
+                state.episodes[i].add(
                     self._states[i],
                     self._observations[i],
                     actions[i],
@@ -150,35 +233,88 @@ class VectorRolloutCollector:
                     result.final_observations[i],
                     result.dones[i],
                 )
-                queue_sums[i] += result.mean_queues[i]
-                empty_sums[i] += result.empty_ratios[i]
-                overflow_sums[i] += result.overflow_ratios[i]
-                steps[i] += 1
+                state.queue_sums[i] += result.mean_queues[i]
+                state.empty_sums[i] += result.empty_ratios[i]
+                state.overflow_sums[i] += result.overflow_ratios[i]
+                state.steps[i] += 1
                 if result.dones[i]:
-                    episode = episodes[i].finish()
-                    completed.append(episode)
-                    completed_stats.append({
+                    episode = state.episodes[i].finish()
+                    state.completed.append(episode)
+                    state.completed_stats.append({
                         "total_reward": episode.total_reward,
-                        "length": int(steps[i]),
-                        "mean_queue": float(queue_sums[i] / steps[i]),
-                        "empty_ratio": float(empty_sums[i] / steps[i]),
-                        "overflow_ratio": float(overflow_sums[i] / steps[i]),
+                        "length": int(state.steps[i]),
+                        "mean_queue": float(
+                            state.queue_sums[i] / state.steps[i]
+                        ),
+                        "empty_ratio": float(
+                            state.empty_sums[i] / state.steps[i]
+                        ),
+                        "overflow_ratio": float(
+                            state.overflow_sums[i] / state.steps[i]
+                        ),
                     })
-                    episodes[i] = Episode()
-                    queue_sums[i] = empty_sums[i] = overflow_sums[i] = 0.0
-                    steps[i] = 0
+                    state.completed_rounds.append(state.rounds)
+                    state.episodes[i] = Episode()
+                    state.queue_sums[i] = 0.0
+                    state.empty_sums[i] = 0.0
+                    state.overflow_sums[i] = 0.0
+                    state.steps[i] = 0
                     self._fresh[i] = True
             self._observations = result.observations
             self._states = result.states
-        # Boundary-level accounting: the per-step quantities are already
-        # tracked by the loop, so telemetry costs one publish per collect,
-        # not per step.  Inside a sharded worker these counters land in the
-        # worker's local registry and ride the snapshot reply to the parent.
-        if obs.enabled():
-            obs.counter("rollout.env_steps").inc(lockstep_rounds)
-            obs.counter("rollout.env_rows").inc(lockstep_rounds * n)
-            obs.counter("rollout.episodes").inc(len(completed))
-        return completed[:n_episodes], completed_stats[:n_episodes]
+        return state
+
+    def snapshot_rounds(self, state):
+        """Deep-copied resume point of a running pass.
+
+        Captures everything :meth:`restore_rounds` needs to rewind the
+        collector to this exact round: the vector env (queues, step
+        counters, row generators), the between-round carry, the per-copy
+        staging, and how much of the completed output existed.  The
+        sharded ragged protocol uses this to un-run speculative rounds
+        when the globally agreed stopping round turns out to be earlier
+        than a worker's probed bound.
+        """
+        return copy.deepcopy({
+            "vector_env": self.vector_env,
+            "carry": self.carry_state(),
+            "staging": {
+                "episodes": state.episodes,
+                "queue_sums": state.queue_sums,
+                "empty_sums": state.empty_sums,
+                "overflow_sums": state.overflow_sums,
+                "steps": state.steps,
+            },
+            "rounds": state.rounds,
+            "n_completed": len(state.completed),
+        })
+
+    def restore_rounds(self, snapshot, state):
+        """Rewind the collector and ``state`` to a :meth:`snapshot_rounds` point.
+
+        Adopts the snapshot's objects directly (single-use: take a fresh
+        snapshot if another rewind to the same point could follow) and
+        truncates the completed lists back to the captured length.
+        """
+        self.vector_env = snapshot["vector_env"]
+        self.restore_carry_state(snapshot["carry"])
+        staging = snapshot["staging"]
+        state.episodes = staging["episodes"]
+        state.queue_sums = staging["queue_sums"]
+        state.empty_sums = staging["empty_sums"]
+        state.overflow_sums = staging["overflow_sums"]
+        state.steps = staging["steps"]
+        n_completed = snapshot["n_completed"]
+        del state.completed[n_completed:]
+        del state.completed_stats[n_completed:]
+        del state.completed_rounds[n_completed:]
+        state.rounds = snapshot["rounds"]
+
+    def publish_telemetry(self, state):
+        """One rollout-counter publish for a finished pass."""
+        obs.counter("rollout.env_steps").inc(state.rounds)
+        obs.counter("rollout.env_rows").inc(state.rounds * self.n_envs)
+        obs.counter("rollout.episodes").inc(len(state.completed))
 
     def __repr__(self):
         return (

@@ -45,6 +45,14 @@ ROLLOUT_ENGINES = ("serial", "vector", "sharded-pipe", "sharded-shm")
 #: Both environment families the contract must hold on.
 OFFLOAD_ENV_KINDS = ("single_hop", "multi_hop")
 
+#: The ragged (data-dependent termination) variants of both families:
+#: ``terminate_on_overflow`` plus a queue preload high enough that early
+#: overflow endings actually occur, so episode lengths genuinely vary
+#: under the 5-step harness horizon.  (The multi-hop variant widens the
+#: sink layer: the default ``(3, 2, 1)`` topology funnels constant inflow
+#: into one sink, which would overflow deterministically on step 1.)
+RAGGED_ENV_KINDS = ("single_hop_ragged", "multi_hop_ragged")
+
 #: TrainingConfig fragments realising each engine (n_envs/n_workers filled
 #: in by :func:`make_engine_trainer`).
 _ENGINE_SETTINGS = {
@@ -59,7 +67,21 @@ _ENGINE_SETTINGS = {
 
 
 def make_offload_env(env_kind, seed, episode_limit=5, **env_kwargs):
-    """A deterministically seeded SingleHop or MultiHop environment."""
+    """A deterministically seeded SingleHop or MultiHop environment.
+
+    The ``*_ragged`` kinds are the same families with data-dependent
+    termination switched on (see :data:`RAGGED_ENV_KINDS`); explicit
+    ``env_kwargs`` still win over the ragged defaults.
+    """
+    if env_kind == "single_hop_ragged":
+        env_kwargs.setdefault("terminate_on_overflow", True)
+        env_kwargs.setdefault("initial_queue_level", 0.8)
+        env_kind = "single_hop"
+    elif env_kind == "multi_hop_ragged":
+        env_kwargs.setdefault("terminate_on_overflow", True)
+        env_kwargs.setdefault("initial_queue_level", 0.8)
+        env_kwargs.setdefault("layers", (3, 2, 2))
+        env_kind = "multi_hop"
     if env_kind == "single_hop":
         config = SingleHopConfig(episode_limit=episode_limit, **env_kwargs)
         return SingleHopOffloadEnv(config, rng=np.random.default_rng(seed))

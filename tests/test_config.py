@@ -32,6 +32,13 @@ class TestSingleHopConfig:
         assert cfg.observation_size == 4   # own q, own q(t-1), 2 clouds
         assert cfg.state_size == 16        # 4 agents x 4 features
 
+    def test_terminate_on_overflow_defaults_off(self):
+        # Default-off keeps the paper's fixed-length episodes; opting in
+        # makes episode_limit a horizon *cap* (the ragged env family).
+        assert SingleHopConfig().terminate_on_overflow is False
+        cfg = SingleHopConfig(terminate_on_overflow=True)
+        assert cfg.terminate_on_overflow is True
+
     def test_replace(self):
         cfg = replace(SingleHopConfig(), episode_limit=10)
         assert cfg.episode_limit == 10

@@ -547,3 +547,21 @@ class TestESLearning:
             history = framework.train(n_epochs=6)
         rewards = history.series("total_reward")
         assert np.mean(rewards[-2:]) > np.mean(rewards[:2])
+
+
+class TestRaggedRejection:
+    """ES fitness attribution is positional — ragged envs are rejected."""
+
+    def test_ragged_env_rejected_up_front(self):
+        env = make_offload_env("single_hop_ragged", 0)
+        team = make_classical_team(env, 1)
+        config = TrainingConfig(trainer="es")
+        with pytest.raises(ValueError, match="fixed-length"):
+            ESTrainer(env, team, config, np.random.default_rng(0))
+
+    def test_fixed_env_still_accepted(self):
+        env = make_offload_env("single_hop", 0)
+        team = make_classical_team(env, 1)
+        config = TrainingConfig(trainer="es")
+        trainer = ESTrainer(env, team, config, np.random.default_rng(0))
+        trainer.close()

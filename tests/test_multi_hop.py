@@ -186,3 +186,39 @@ class TestTrainingIntegration:
         record = trainer.train_epoch()
         assert np.isfinite(record["critic_loss"])
         assert np.isfinite(record["actor_loss"])
+
+
+class TestOverflowTermination:
+    def test_overflow_ends_episode_early(self):
+        # A heavily preloaded narrow sink layer overflows well before a
+        # generous horizon under random traffic.
+        env = make_env(
+            (3, 2, 1), seed=5, episode_limit=50,
+            initial_queue_level=0.95, terminate_on_overflow=True,
+        )
+        assert env.has_data_dependent_termination
+        env.reset()
+        rng = np.random.default_rng(6)
+        steps = 0
+        done = False
+        while not done:
+            result = env.step(
+                [env.action_space.sample(rng) for _ in range(3)]
+            )
+            done = result.done
+            steps += 1
+            assert steps <= 50
+        assert steps < 50
+        assert result.info["overflow_ratio"] > 0.0
+
+    def test_flag_off_keeps_fixed_horizon(self):
+        env = make_env((3, 2, 1), seed=5, episode_limit=6,
+                       initial_queue_level=0.95)
+        assert not env.has_data_dependent_termination
+        env.reset()
+        rng = np.random.default_rng(6)
+        for step in range(1, 7):
+            result = env.step(
+                [env.action_space.sample(rng) for _ in range(3)]
+            )
+            assert result.done == (step == 6)

@@ -16,6 +16,7 @@ from repro.marl.rollout import VectorRolloutCollector
 
 from tests.helpers import (
     OFFLOAD_ENV_KINDS,
+    RAGGED_ENV_KINDS,
     ROLLOUT_ENGINES,
     assert_cross_engine_equivalence,
     assert_episodes_equal,
@@ -441,3 +442,168 @@ class TestTrainerIntegration:
             return records, evaluation
 
         assert run("vector", 1, "auto") == run("sharded", 2, transport)
+
+
+class TestEpisodeLimitResolution:
+    """The collector resolves the horizon cap explicitly (regression:
+    ``int(limit or 0)`` used to conflate an absent limit with zero)."""
+
+    class _NoLimitEnv:
+        n_agents = 2
+        observation_size = 3
+        state_size = 6
+
+    def test_missing_limit_everywhere_rejected(self):
+        actors = ActorGroup(
+            [ClassicalActor(3, 4, (), np.random.default_rng(0))
+             for _ in range(2)]
+        )
+        with pytest.raises(ValueError, match="horizon cap"):
+            ShardedRolloutCollector(
+                self._NoLimitEnv(), actors, n_envs=2, n_workers=1
+            )
+
+    def test_env_attribute_wins_over_config(self):
+        env, actors = single_hop_setup()
+        # MultiHop-style: the limit lives on the env itself; a conflicting
+        # config value must not shadow it.
+        env.episode_limit = EPISODE_LIMIT
+        with sharded(env, actors, 2, 1) as pool:
+            assert pool.episode_limit == EPISODE_LIMIT
+
+    def test_limit_one_is_a_valid_cap(self):
+        """An episode_limit of 1 is a degenerate but legal horizon — it
+        must not be mistaken for 'absent'."""
+        env_v = make_offload_env("single_hop", 3, episode_limit=1)
+        actors_v = make_classical_team(env_v, 4)
+        reference = VectorRolloutCollector(make_vector_env(env_v, 2), actors_v)
+        env_s = make_offload_env("single_hop", 3, episode_limit=1)
+        actors_s = make_classical_team(env_s, 4)
+        with sharded(env_s, actors_s, 2, 2) as pool:
+            assert pool.episode_limit == 1
+            expected = collect_rounds(reference, env_v, 2, 1)
+            got = collect_rounds(pool, env_s, 2, 1)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+
+class TestRaggedEpisodes:
+    """The ragged round protocol: data-dependent termination across the
+    full engine chain, bit-identical to the in-process reference."""
+
+    @pytest.mark.parametrize("env_kind", RAGGED_ENV_KINDS)
+    def test_four_way_chain_ragged_at_n1(self, env_kind):
+        """serial == vector == sharded-pipe == sharded-shm on the ragged
+        env family, one copy: episodes, metrics, RNG positions."""
+        assert_cross_engine_equivalence(
+            env_kind, ROLLOUT_ENGINES, n_envs=1, n_workers=1
+        )
+
+    @pytest.mark.parametrize("env_kind", RAGGED_ENV_KINDS)
+    def test_batched_engines_ragged_at_n4(self, env_kind):
+        assert_cross_engine_equivalence(
+            env_kind,
+            ("vector", "sharded-pipe", "sharded-shm"),
+            n_envs=4,
+            n_workers=2,
+        )
+
+    def test_uneven_shards_ragged(self):
+        assert_cross_engine_equivalence(
+            "single_hop_ragged",
+            ("vector", "sharded-pipe", "sharded-shm"),
+            n_envs=4,
+            n_workers=3,
+        )
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_ragged_bit_identical_to_vector_engine(self, transport,
+                                                   n_workers):
+        env_v, actors_v = engine_setup("single_hop_ragged")
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        expected = collect_rounds(reference, env_v, 4, 2)
+
+        env_s, actors_s = engine_setup("single_hop_ragged")
+        with sharded(env_s, actors_s, 4, n_workers, transport) as pool:
+            assert pool.ragged
+            got = collect_rounds(pool, env_s, 4, 2)
+
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1] == got[1]
+        assert expected[2] == got[2]
+        assert expected[3] == got[3]
+        # The family must genuinely vary in length, or this pins nothing.
+        assert len({s["length"] for s in expected[1]}) > 1
+
+    def test_ragged_quota_below_copy_count(self):
+        """Surplus episodes from the final ragged round are discarded
+        identically by both engines."""
+        env_v, actors_v = engine_setup("single_hop_ragged")
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        env_s, actors_s = engine_setup("single_hop_ragged")
+        with sharded(env_s, actors_s, 4, 2) as pool:
+            expected = collect_rounds(reference, env_v, 3, 2)
+            got = collect_rounds(pool, env_s, 3, 2)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+    def test_ragged_quota_above_copy_count(self):
+        """Quotas needing several probe extensions stay bit-identical (the
+        negotiation path: first bound ceil(n/N) is far too short when many
+        episodes run to the horizon)."""
+        env_v, actors_v = engine_setup("single_hop_ragged")
+        reference = VectorRolloutCollector(make_vector_env(env_v, 2), actors_v)
+        env_s, actors_s = engine_setup("single_hop_ragged")
+        with sharded(env_s, actors_s, 2, 2) as pool:
+            expected = collect_rounds(reference, env_v, 7, 2)
+            got = collect_rounds(pool, env_s, 7, 2)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("during_next_collect", [False, True])
+    def test_ragged_crash_restart_loses_no_episodes(self, transport,
+                                                    during_next_collect):
+        """A worker killed mid-ragged-collect is replayed bit-exactly —
+        multi-exchange probing included — and shm segments survive the
+        restart and are released on close."""
+        env_v, actors_v = engine_setup("single_hop_ragged")
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        env_s, actors_s = engine_setup("single_hop_ragged")
+        with sharded(env_s, actors_s, 4, 2, transport) as pool:
+            segment_names = pool.shm_segment_names()
+            rng_v = np.random.default_rng(11)
+            rng_s = np.random.default_rng(11)
+            expected_1 = reference.collect(4, rng_v)
+            got_1 = pool.collect(4, rng_s)
+            pool.debug_crash_worker(
+                0, during_next_collect=during_next_collect
+            )
+            expected_2 = reference.collect(4, rng_v)
+            got_2 = pool.collect(4, rng_s)
+            assert pool.total_restarts == 1
+            assert pool.shm_segment_names() == segment_names
+        assert_episodes_equal(
+            expected_1[0] + expected_2[0], got_1[0] + got_2[0]
+        )
+        assert expected_1[1] + expected_2[1] == got_1[1] + got_2[1]
+        assert rng_v.bit_generator.state == rng_s.bit_generator.state
+        assert_segments_released(segment_names)
+
+    def test_ragged_greedy_collection_matches_vector(self):
+        env_v, actors_v = engine_setup("single_hop_ragged")
+        reference = VectorRolloutCollector(make_vector_env(env_v, 4), actors_v)
+        env_s, actors_s = engine_setup("single_hop_ragged")
+        with sharded(env_s, actors_s, 4, 2) as pool:
+            expected = collect_rounds(reference, env_v, 4, 1, greedy=True)
+            got = collect_rounds(pool, env_s, 4, 1, greedy=True)
+        assert_episodes_equal(expected[0], got[0])
+        assert expected[1:] == got[1:]
+
+    def test_fixed_envs_keep_the_fast_path(self):
+        """Non-ragged envs must not pay the probe protocol: the collector
+        stays on the one-command fast path."""
+        env, actors = single_hop_setup()
+        with sharded(env, actors, 4, 2) as pool:
+            assert not pool.ragged

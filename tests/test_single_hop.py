@@ -210,3 +210,52 @@ class TestInfo:
 
     def test_repr(self):
         assert "K=2, N=4" in repr(make_env())
+
+
+class TestOverflowTermination:
+    """``terminate_on_overflow``: a cloud overflow ends the episode early,
+    making the horizon a cap rather than the fixed length."""
+
+    def test_overflow_ends_episode_early(self):
+        # The hand-computed TestDynamics transition: all agents sending 0.2
+        # to cloud 0 drives it to the overflow boundary on step 1.
+        env = make_env(
+            arrivals=DeterministicArrivals(0.0),
+            terminate_on_overflow=True,
+            episode_limit=10,
+        )
+        assert env.has_data_dependent_termination
+        env.reset()
+        action = env.encode_action(0, 1)
+        result = env.step([action] * 4)
+        assert result.info["cloud_overflow"][0]
+        assert result.done
+        assert env._t < env.config.episode_limit
+
+    def test_flag_off_keeps_fixed_horizon(self):
+        env = make_env(arrivals=DeterministicArrivals(0.0), episode_limit=10)
+        assert not env.has_data_dependent_termination
+        env.reset()
+        action = env.encode_action(0, 1)
+        for step in range(1, 11):
+            result = env.step([action] * 4)
+            assert result.done == (step == 10)
+
+    def test_no_overflow_runs_to_horizon(self):
+        # Zero arrivals and no traffic: queues only drain, so the flag
+        # never fires and the cap behaves exactly like the fixed horizon.
+        env = make_env(
+            arrivals=DeterministicArrivals(0.0),
+            terminate_on_overflow=True,
+            episode_limit=4,
+        )
+        env.reset()
+        action = env.encode_action(0, 0)  # send the minimal amount
+        steps = 0
+        done = False
+        while not done:
+            result = env.step([action] * 4)
+            done = result.done
+            steps += 1
+            assert steps <= 4
+        assert steps == 4

@@ -16,6 +16,7 @@ from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.envs.vector import (
     MultiHopVectorEnv,
     SingleHopVectorEnv,
+    VectorEnv,
     make_vector_env,
 )
 from repro.marl.actors import ActorGroup, ClassicalActor, RandomActor
@@ -314,3 +315,261 @@ class TestActBatch:
         assert actions.min() >= 0 and actions.max() < 4
         with pytest.raises(RuntimeError, match="greedy"):
             group.act_batch(observations, rng, greedy=True)
+
+
+class TestRaggedTermination:
+    """Per-row data-dependent termination: serial stays ground truth."""
+
+    def test_single_hop_ragged_step_for_step_vs_serial(self):
+        cfg = SingleHopConfig(
+            episode_limit=5, terminate_on_overflow=True,
+            initial_queue_level=0.8,
+        )
+        n_envs = 4
+        serial = serial_single_hop(n_envs, cfg)
+        vector = vector_single_hop(n_envs, cfg)
+        assert vector.has_data_dependent_termination
+        vector.reset()
+        [env.reset() for env in serial]
+
+        action_rng = np.random.default_rng(5)
+        done_rounds = []
+        for round_index in range(3 * cfg.episode_limit):
+            actions = action_rng.integers(
+                0, cfg.n_actions, size=(n_envs, cfg.n_agents)
+            )
+            result = vector.step(actions)
+            for i, env in enumerate(serial):
+                serial_result = env.step(list(actions[i]))
+                assert serial_result.done == bool(result.dones[i])
+                assert serial_result.reward == result.rewards[i]
+                assert np.array_equal(
+                    np.stack(serial_result.observations),
+                    result.final_observations[i],
+                )
+                if serial_result.done:
+                    done_rounds.append(round_index)
+                    obs_s, state_s = env.reset()
+                    assert np.array_equal(
+                        np.stack(obs_s), result.observations[i]
+                    )
+                    assert np.array_equal(state_s, result.states[i])
+        # The preloaded queues must actually cut episodes short somewhere,
+        # otherwise this test degenerates into the fixed-horizon one.
+        assert len(done_rounds) > (3 * cfg.episode_limit * n_envs
+                                   // cfg.episode_limit) // n_envs
+
+    def test_single_hop_ragged_ends_before_horizon(self):
+        cfg = SingleHopConfig(
+            episode_limit=50, terminate_on_overflow=True,
+            initial_queue_level=0.95,
+        )
+        env = SingleHopOffloadEnv(cfg, rng=np.random.default_rng(0))
+        assert env.has_data_dependent_termination
+        env.reset()
+        action_rng = np.random.default_rng(1)
+        steps = 0
+        done = False
+        while not done and steps < cfg.episode_limit:
+            result = env.step(
+                list(action_rng.integers(0, cfg.n_actions, cfg.n_agents))
+            )
+            done = result.done
+            steps += 1
+        assert done and steps < cfg.episode_limit
+
+    def test_multi_hop_ragged_step_for_step_vs_serial(self):
+        topology = layered_topology((3, 2, 2))
+        n_envs = 3
+        serial = [
+            MultiHopOffloadEnv(
+                topology, episode_limit=5, initial_queue_level=0.8,
+                terminate_on_overflow=True,
+                rng=np.random.default_rng(60 + i),
+            )
+            for i in range(n_envs)
+        ]
+        vector = MultiHopVectorEnv(
+            n_envs, topology, episode_limit=5, initial_queue_level=0.8,
+            terminate_on_overflow=True,
+            rngs=[np.random.default_rng(60 + i) for i in range(n_envs)],
+        )
+        assert vector.has_data_dependent_termination
+        vector.reset()
+        [env.reset() for env in serial]
+        action_rng = np.random.default_rng(7)
+        early = 0
+        for _ in range(12):
+            actions = action_rng.integers(
+                0, vector.n_actions, size=(n_envs, vector.n_agents)
+            )
+            result = vector.step(actions)
+            for i, env in enumerate(serial):
+                serial_result = env.step(list(actions[i]))
+                assert serial_result.done == bool(result.dones[i])
+                assert serial_result.reward == result.rewards[i]
+                if serial_result.done:
+                    if env._t < env.episode_limit:
+                        early += 1
+                    env.reset()
+        assert early > 0  # raggedness actually exercised
+
+    def test_fixed_envs_unaffected_by_hook(self):
+        """terminate_on_overflow off => flag off and horizon-only dones."""
+        cfg = SingleHopConfig(episode_limit=2, initial_queue_level=0.95)
+        env = SingleHopOffloadEnv(cfg, rng=np.random.default_rng(0))
+        assert not env.has_data_dependent_termination
+        vector = vector_single_hop(2, cfg)
+        assert not vector.has_data_dependent_termination
+        vector.reset()
+        actions = np.zeros((2, cfg.n_agents), dtype=np.int64)
+        assert not vector.step(actions).dones.any()
+        assert vector.step(actions).dones.all()
+
+    def test_make_vector_env_propagates_ragged_flags(self):
+        cfg = SingleHopConfig(episode_limit=5, terminate_on_overflow=True)
+        env = SingleHopOffloadEnv(cfg, rng=np.random.default_rng(3))
+        assert make_vector_env(env, 2).has_data_dependent_termination
+        topology = layered_topology((2, 2))
+        env = MultiHopOffloadEnv(
+            topology, episode_limit=5, terminate_on_overflow=True,
+            rng=np.random.default_rng(3),
+        )
+        assert make_vector_env(env, 2).has_data_dependent_termination
+
+
+class TestInfoSnapshot:
+    """The lazy ``infos`` must reflect the step they came from, not the
+    env's state at read time (regression: stale-builder hazard)."""
+
+    def test_infos_read_after_later_steps(self):
+        cfg = SingleHopConfig(episode_limit=2)
+        n_envs = 3
+        serial = serial_single_hop(n_envs, cfg)
+        vector = vector_single_hop(n_envs, cfg)
+        vector.reset()
+        [env.reset() for env in serial]
+        action_rng = np.random.default_rng(2)
+
+        results, serial_infos = [], []
+        # Two steps: the second crosses the horizon, so reading the first
+        # result afterwards also spans an auto-reset.
+        for _ in range(2):
+            actions = action_rng.integers(
+                0, cfg.n_actions, size=(n_envs, cfg.n_agents)
+            )
+            results.append(vector.step(actions))
+            step_infos = []
+            for i, env in enumerate(serial):
+                serial_result = env.step(list(actions[i]))
+                step_infos.append(serial_result.info)
+                if serial_result.done:
+                    env.reset()
+            serial_infos.append(step_infos)
+
+        # Only now materialise the infos — in reverse, for good measure.
+        for result, step_infos in zip(reversed(results),
+                                      reversed(serial_infos)):
+            for i in range(n_envs):
+                assert_info_equal(step_infos[i], result.infos[i])
+
+
+class _LiveViewEnv(VectorEnv):
+    """Minimal vector env whose observation hook returns a *live* view into
+    a persistent buffer — the aliasing hazard ``step`` must guard against."""
+
+    n_agents = 1
+    n_actions = 2
+    observation_size = 1
+    state_size = 1
+    episode_limit = 2
+
+    def __init__(self, n_envs):
+        super().__init__(
+            n_envs,
+            rngs=[np.random.default_rng(i) for i in range(n_envs)],
+        )
+        self._buffer = np.zeros((n_envs, self.n_agents,
+                                 self.observation_size))
+
+    def _reset_rows(self, rows):
+        self._buffer[rows] = 0.0
+
+    def _apply_actions(self, actions):
+        self._buffer += 1.0
+        zeros = np.zeros(self.n_envs)
+        return (
+            zeros,
+            (zeros, zeros, zeros),
+            lambda: [{} for _ in range(self.n_envs)],
+        )
+
+    def _observations(self):
+        return self._buffer
+
+
+class TestTerminalViewAliasing:
+    """Auto-reset must not clobber the terminal views (regression)."""
+
+    def test_final_views_survive_auto_reset(self):
+        env = _LiveViewEnv(3)
+        env.reset()
+        actions = np.zeros((3, 1), dtype=np.int64)
+        env.step(actions)
+        result = env.step(actions)  # hits the horizon -> auto-reset
+        assert result.dones.all()
+        # The live buffer was zeroed by the reset, but the terminal views
+        # must still hold the pre-reset values.
+        assert np.all(result.final_observations == 2.0)
+        assert np.all(result.final_states == 2.0)
+        assert np.all(result.observations == 0.0)
+        assert np.all(result.states == 0.0)
+
+    def test_non_terminal_views_stay_zero_copy(self):
+        env = _LiveViewEnv(2)
+        env.reset()
+        actions = np.zeros((2, 1), dtype=np.int64)
+        result = env.step(actions)  # no row done -> no defensive copy
+        assert not result.dones.any()
+        assert result.final_observations is result.observations
+
+
+class TestSurplusDiscard:
+    """collect()'s (step, copy) completion order is a prefix contract:
+    a smaller quota returns exactly the head of a larger one."""
+
+    @staticmethod
+    def _collect(cfg, quota, n_envs=4, seed=17):
+        from repro.marl.rollout import VectorRolloutCollector
+
+        env = SingleHopOffloadEnv(cfg, rng=np.random.default_rng(seed))
+        vector = make_vector_env(env, n_envs)
+        actors = classical_group(cfg, seed=seed + 1)
+        collector = VectorRolloutCollector(vector, actors)
+        return collector.collect(quota, np.random.default_rng(seed + 2))
+
+    def _assert_prefix(self, cfg):
+        episodes_small, stats_small = self._collect(cfg, 3)
+        episodes_large, stats_large = self._collect(cfg, 9)
+        assert len(episodes_small) == 3 and len(episodes_large) == 9
+        for small, large in zip(episodes_small, episodes_large):
+            for column in ("states", "observations", "actions", "rewards",
+                           "next_states", "next_observations", "dones"):
+                assert np.array_equal(
+                    getattr(small, column), getattr(large, column)
+                ), column
+        assert stats_small == stats_large[:3]
+        return stats_large
+
+    def test_fixed_env_prefix(self):
+        cfg = SingleHopConfig(episode_limit=3)
+        stats = self._assert_prefix(cfg)
+        assert {s["length"] for s in stats} == {3}
+
+    def test_ragged_env_prefix(self):
+        cfg = SingleHopConfig(
+            episode_limit=5, terminate_on_overflow=True,
+            initial_queue_level=0.8,
+        )
+        stats = self._assert_prefix(cfg)
+        assert len({s["length"] for s in stats}) > 1  # genuinely ragged
