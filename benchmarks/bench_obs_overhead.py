@@ -3,18 +3,22 @@
 The ``repro.obs`` contract is *near-zero overhead while disabled* — every
 instrumented hot path pays one module-global flag check and nothing else.
 This bench measures env steps/sec of the N-copy vectorized collection round
-(the hottest instrumented loop in the repo) under three conditions:
+(the hottest instrumented loop in the repo) under four conditions:
 
 - **baseline** — telemetry disabled, registry never touched;
 - **disabled** — telemetry toggled on and back off first (so the flag has
-  been exercised), then measured disabled — the steady state of every
-  training run that never opts in;
-- **enabled** — telemetry on: counters, histograms, and spans all live.
+  been exercised), then measured disabled, flight recording off — the
+  floor every other condition is judged against;
+- **flight** — telemetry still disabled but the flight recorder on (the
+  shipped always-on default): isolates the ring's cost in the hot path;
+- **enabled** — telemetry on: counters, histograms, spans, and the
+  span→ring flight events all live.
 
 and writes ``BENCH_obs_overhead.json`` with the overhead ratios against the
-budgets the observability PR promises: disabled within 2 % of baseline,
-enabled within 10 %.  ``--check`` exits nonzero when a budget is blown
-(the CI observability job runs ``--smoke --check``).
+budgets the observability PRs promise: disabled within 2 % of baseline,
+flight-on within 3 % of disabled, enabled within 10 % of baseline.
+``--check`` exits nonzero when a budget is blown (the CI observability job
+runs ``--smoke --check``).
 
 Standalone::
 
@@ -30,6 +34,7 @@ import numpy as np
 from benchio import write_bench_json
 
 from repro import obs
+from repro.obs import flight as obs_flight
 from repro.config import SingleHopConfig
 from repro.envs.single_hop import SingleHopOffloadEnv
 from repro.envs.vector import make_vector_env
@@ -40,6 +45,7 @@ SEED = 3
 EPISODE_LIMIT = 25
 N_ENVS = 8
 DISABLED_BUDGET = 0.02
+FLIGHT_BUDGET = 0.03
 ENABLED_BUDGET = 0.10
 
 
@@ -87,6 +93,7 @@ def main(argv=None):
     repeats = 3 if args.smoke else 5
 
     previous = obs.set_enabled(False)
+    previous_flight = obs_flight.set_enabled(False)
     try:
         baseline = _measure(N_ENVS, episode_limit, repeats)
 
@@ -96,14 +103,21 @@ def main(argv=None):
         obs.set_enabled(False)
         disabled = _measure(N_ENVS, episode_limit, repeats)
 
+        # The flight recorder alone (its always-on shipped default),
+        # telemetry still off — judged against the disabled floor.
+        obs_flight.set_enabled(True)
+        flight = _measure(N_ENVS, episode_limit, repeats)
+
         obs.set_enabled(True)
         enabled = _measure(N_ENVS, episode_limit, repeats)
     finally:
         obs.set_enabled(previous)
+        obs_flight.set_enabled(previous_flight)
         obs.reset()
+        obs_flight.reset()
 
-    def overhead(rate):
-        return max(0.0, 1.0 - rate / baseline)
+    def overhead(rate, reference=None):
+        return max(0.0, 1.0 - rate / (reference or baseline))
 
     results = {
         "baseline": {"env_steps_per_s": baseline},
@@ -112,6 +126,13 @@ def main(argv=None):
             "overhead": overhead(disabled),
             "budget": DISABLED_BUDGET,
             "within_budget": overhead(disabled) <= DISABLED_BUDGET,
+        },
+        "flight": {
+            "env_steps_per_s": flight,
+            "overhead": overhead(flight, disabled),
+            "reference": "disabled",
+            "budget": FLIGHT_BUDGET,
+            "within_budget": overhead(flight, disabled) <= FLIGHT_BUDGET,
         },
         "enabled": {
             "env_steps_per_s": enabled,
@@ -122,7 +143,7 @@ def main(argv=None):
     }
     print(f"{'mode':>10}  {'env steps/s':>12}  {'overhead':>9}  budget")
     print(f"{'baseline':>10}  {baseline:>12.1f}  {'-':>9}  -")
-    for mode in ("disabled", "enabled"):
+    for mode in ("disabled", "flight", "enabled"):
         entry = results[mode]
         flag = "ok" if entry["within_budget"] else "OVER"
         print(
@@ -145,6 +166,7 @@ def main(argv=None):
     print(f"\nwrote {path}")
     if args.check and not (
         results["disabled"]["within_budget"]
+        and results["flight"]["within_budget"]
         and results["enabled"]["within_budget"]
     ):
         print("telemetry overhead budget exceeded", file=sys.stderr)

@@ -229,7 +229,18 @@ class ESTrainer:
     # -- training -------------------------------------------------------------
 
     def train_epoch(self):
-        """One ES generation: collect, score, update, record metrics."""
+        """One ES generation: collect, score, update, record metrics.
+
+        Traced like the gradient engine: one ``trainer.epoch`` span roots
+        the generation's tree, and sharded workers join it over the
+        transport seam.
+        """
+        if obs.enabled():
+            obs.begin_trace(label="trainer")
+        with obs.span("trainer.epoch"):
+            return self._train_epoch()
+
+    def _train_epoch(self):
         cfg = self.config
         # Seeds are drawn parent-side from the shared stream *before*
         # collection, identically under every engine.  sigma=0 (the

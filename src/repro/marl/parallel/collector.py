@@ -49,12 +49,15 @@ episode is lost or duplicated.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import sys
 
 import numpy as np
 
 from repro import obs
 from repro.envs.vector import _spawn_row_rngs
+from repro.obs import flight as _flight
+from repro.obs import trace as _trace
 from repro.marl.parallel.transport import (
     DEFAULT_N_SLOTS,
     DEFAULT_SLOT_BYTES,
@@ -130,13 +133,18 @@ class _WorkerHandle:
         self.process = None
         self.channel = None
         self.restarts = 0
+        self.flight_ring = None
 
     def start(self):
         """Spawn the process and initialise it (from a checkpoint if cached).
 
         The transport is reset first, so a restart reclaims whatever a dead
         incarnation left in its shared-memory ring before the replacement
-        begins publishing from the replayed checkpoint.
+        begins publishing from the replayed checkpoint.  After init the
+        clock-alignment handshake pins the worker's monotonic clock to the
+        parent's timeline, and — when a flight dump directory is
+        configured — the worker is told to keep its flight ring in a file
+        the parent can recover if the process dies without warning.
         """
         self.transport.reset()
         parent_end, child_end = self.context.Pipe()
@@ -151,11 +159,46 @@ class _WorkerHandle:
         self.channel = self.transport.parent_channel(self.process, parent_end)
         payload = dict(self.payload)
         payload["checkpoint"] = self.checkpoint
+        payload["label"] = self.name
+        if _flight.enabled() and _flight.dump_dir() is not None:
+            self.flight_ring = os.path.join(
+                _flight.dump_dir(), f"{self.name}.ring"
+            )
+            payload["flight_ring"] = self.flight_ring
         self.channel.send(("init", payload))
+        self.channel.recv()
+        self._sync_clock()
+
+    def _sync_clock(self):
+        """RTT-midpoint clock negotiation (see ``repro.obs.trace``)."""
+        t0 = _trace.now_us()
+        self.channel.send(("clock",))
+        worker_now = self.channel.recv()
+        t1 = _trace.now_us()
+        offset = _trace.compute_clock_offset(t0, t1, worker_now)
+        self.channel.send(("clock_set", offset))
         self.channel.recv()
 
     def restart(self):
-        """Replace a dead process with a fresh one at the last checkpoint."""
+        """Replace a dead process with a fresh one at the last checkpoint.
+
+        Before the evidence disappears: recover the dead incarnation's
+        flight ring (when file-backed) and dump a postmortem beside the
+        recovery — the crash path otherwise deliberately swallows it.
+        """
+        if _flight.enabled():
+            worker_events = None
+            if self.flight_ring is not None:
+                worker_events = _flight.read_file(self.flight_ring)
+            _flight.record(
+                "worker_restart", worker=self.name,
+                restarts=self.restarts + 1,
+            )
+            _flight.dump(
+                "worker-crash",
+                extra={"worker": self.name, "restarts": self.restarts + 1},
+                worker_events=worker_events,
+            )
         self.terminate()
         self.restarts += 1
         self.start()
@@ -184,6 +227,12 @@ class _WorkerHandle:
                 pass
         self.terminate()
         self.transport.close()
+        if self.flight_ring is not None:
+            try:
+                os.unlink(self.flight_ring)
+            except OSError:
+                pass
+            self.flight_ring = None
 
 
 class ShardedRolloutCollector:
@@ -396,6 +445,10 @@ class ShardedRolloutCollector:
                 "action_rng": action_state,
                 "weights": weight_states,
                 "telemetry": telemetry,
+                # Causal link: workers join the parent's open trace (None
+                # when no trace is active), parenting their spans to
+                # whichever span issued this collect.
+                "trace": _trace.propagation_context(),
             }
             return lambda worker: ("collect", spec)
 

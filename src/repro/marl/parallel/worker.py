@@ -60,6 +60,8 @@ from repro.marl.parallel.transport import (
     make_worker_endpoint,
     rng_from_state,
 )
+from repro.obs import flight as _flight
+from repro.obs import trace as _trace
 
 __all__ = ["ShardActionAdapter", "worker_main"]
 
@@ -161,10 +163,13 @@ class _WorkerState:
         process for the duration of the pass; when set, the worker's
         registry snapshot (reset at commit, so passes never double-count)
         rides the final reply's control payload back for deterministic
-        parent-side merging.
+        parent-side merging.  ``spec["trace"]`` (when the parent has a
+        trace open) joins this process to it: local spans parent to the
+        sender's span and export to a per-pid sibling file.
         """
         if obs.enabled() != bool(spec["telemetry"]):
             obs.set_enabled(bool(spec["telemetry"]))
+        _trace.adopt(spec.get("trace"))
         self._load_weights(spec["weights"])
         return {
             "rng": rng_from_state(spec["action_rng"]),
@@ -213,9 +218,11 @@ class _WorkerState:
             # round lies past everything run so far — shift the rewind
             # point up before speculating onward.
             self._take_snapshot(session)
-        self.collector.run_rounds(
-            state, session["rng"], greedy=session["greedy"], max_rounds=bound
-        )
+        with obs.span("worker.collect"):
+            self.collector.run_rounds(
+                state, session["rng"], greedy=session["greedy"],
+                max_rounds=bound
+            )
         if not spec["finalize"]:
             return {"counts": state.counts_per_round()}
         self._session = None
@@ -243,6 +250,21 @@ class _WorkerState:
         return reply
 
 
+def _configure_observability(payload):
+    """Apply the init payload's optional observability keys.
+
+    ``label`` names this process's lane in merged timelines; ``flight_ring``
+    re-backs the flight recorder with a file ring the *parent* can recover
+    after a SIGKILL (a dead process can't dump its own memory ring).
+    """
+    label = payload.get("label")
+    if label:
+        _trace.set_process_label(label)
+    ring = payload.get("flight_ring")
+    if ring:
+        _flight.attach_file(ring)
+
+
 def worker_main(connection, transport_info=None):
     """Blocking command loop run inside each worker process.
 
@@ -251,6 +273,14 @@ def worker_main(connection, transport_info=None):
     ``None``/pipe replies pickle everything, shm replies publish episode
     blocks through the worker's shared-memory ring while the control
     payload stays on the pipe.
+
+    Besides ``init`` / ``collect`` / ``ping`` / ``close`` the loop answers
+    the clock-alignment handshake: ``clock`` replies with this process's
+    raw monotonic microseconds and ``clock_set`` installs the offset the
+    parent computed from the round trip, after which exported span
+    timestamps land on the parent's timeline.  Every command is also
+    ringed in the flight recorder, so a postmortem shows what the worker
+    was asked to do before it died.
     """
     try:
         endpoint = make_worker_endpoint(connection, transport_info)
@@ -269,6 +299,8 @@ def worker_main(connection, transport_info=None):
         except (EOFError, OSError, KeyboardInterrupt):
             break
         command = message[0]
+        if _flight.enabled():
+            _flight.record("command", command=command)
         if command == "close":
             endpoint.send_ok(None)
             break
@@ -283,6 +315,7 @@ def worker_main(connection, transport_info=None):
             os._exit(86)
         try:
             if command == "init":
+                _configure_observability(message[1])
                 state = _WorkerState(message[1])
                 reply = None
             elif command == "collect":
@@ -291,9 +324,16 @@ def worker_main(connection, transport_info=None):
                 reply = state.collect(message[1])
             elif command == "ping":
                 reply = "pong"
+            elif command == "clock":
+                reply = _trace.raw_now_us()
+            elif command == "clock_set":
+                _trace.set_clock_offset_us(message[1])
+                reply = None
             else:
                 raise RuntimeError(f"unknown worker command {command!r}")
         except Exception:  # noqa: BLE001 — ship any failure to the parent
+            if _flight.enabled():
+                _flight.record("command_error", command=command)
             endpoint.send_error(traceback.format_exc())
         else:
             endpoint.send_ok(reply)

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro import obs
 from repro.marl.buffer import Episode
+from repro.obs import flight as _flight
 
 __all__ = ["RoundState", "VectorRolloutCollector"]
 
@@ -116,6 +117,11 @@ class VectorRolloutCollector:
             )
         self.vector_env = vector_env
         self.actors = actors
+        # Ragged envs end episodes on data-dependent overflow events; those
+        # terminations are the breadcrumbs the flight recorder keeps.
+        self._ragged = bool(
+            getattr(vector_env, "has_data_dependent_termination", False)
+        )
         self._observations = None
         self._states = None
         # True where the copy sits at an unconsumed fresh episode start
@@ -238,6 +244,13 @@ class VectorRolloutCollector:
                 state.overflow_sums[i] += result.overflow_ratios[i]
                 state.steps[i] += 1
                 if result.dones[i]:
+                    if (self._ragged and _flight.enabled()
+                            and result.overflow_ratios[i] > 0.0):
+                        _flight.record(
+                            "overflow_termination", row=i,
+                            round=int(state.rounds),
+                            length=int(state.steps[i]),
+                        )
                     episode = state.episodes[i].finish()
                     state.completed.append(episode)
                     state.completed_stats.append({

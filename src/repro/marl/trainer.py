@@ -302,7 +302,19 @@ class CTDETrainer:
         }
 
     def train_epoch(self):
-        """Collect one batch of episodes, update once, record metrics."""
+        """Collect one batch of episodes, update once, record metrics.
+
+        While telemetry is on the epoch runs as one traced tree: a trace
+        is opened lazily (joined by rollout workers over the transport
+        seam) and every span below — rollout, worker shards, update —
+        parents back to this epoch span.
+        """
+        if obs.enabled():
+            obs.begin_trace(label="trainer")
+        with obs.span("trainer.epoch"):
+            return self._train_epoch()
+
+    def _train_epoch(self):
         cfg = self.config
         self.buffer.clear()
         with obs.span("trainer.rollout"):

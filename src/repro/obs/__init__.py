@@ -9,6 +9,11 @@ One near-zero-overhead surface for every tier of the repo (see
   check;
 - span tracing over monotonic clocks with optional JSONL export
   (:mod:`repro.obs.spans`);
+- causal trace context — trace/span/parent ids, cross-process propagation
+  over the ``Transport`` seam, clock alignment, and a Chrome-trace
+  converter CLI ``python -m repro.obs.trace`` (:mod:`repro.obs.trace`);
+- an always-on crash flight recorder with postmortem dumps
+  (:mod:`repro.obs.flight`);
 - snapshot/merge cross-process aggregation (rollout workers attach
   registry snapshots to their control-channel replies; the parent merges
   deterministically);
@@ -41,12 +46,21 @@ from repro.obs.registry import (
     snapshot,
     telemetry,
 )
+from repro.obs import flight
+from repro.obs import trace
 from repro.obs.spans import (
     close_export,
     export_event,
+    export_path,
     export_snapshot,
     set_export_path,
     span,
+)
+from repro.obs.trace import (
+    begin_trace,
+    current_span_id,
+    end_trace,
+    trace_id,
 )
 
 __all__ = [
@@ -56,11 +70,16 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRIC",
     "NullMetric",
+    "begin_trace",
     "close_export",
     "counter",
+    "current_span_id",
     "enabled",
+    "end_trace",
     "export_event",
+    "export_path",
     "export_snapshot",
+    "flight",
     "gauge",
     "global_registry",
     "histogram",
@@ -72,4 +91,6 @@ __all__ = [
     "snapshot",
     "span",
     "telemetry",
+    "trace",
+    "trace_id",
 ]

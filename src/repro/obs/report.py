@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 
 from repro.obs.registry import MetricsRegistry, histogram_quantile
 
@@ -98,8 +99,12 @@ def summarize(path):
     }
 
 
-def format_report(summary):
-    """Render a summary as the human-facing table."""
+def format_report(summary, top=None):
+    """Render a summary as the human-facing table.
+
+    ``top`` limits the span table to the N largest by total time (shares
+    stay relative to the full sum, so the cut is visible).
+    """
     lines = []
     spans = summary["spans"]
     if spans:
@@ -112,6 +117,11 @@ def format_report(summary):
         ordered = sorted(
             spans.items(), key=lambda item: item[1]["total_us"], reverse=True
         )
+        if top is not None:
+            hidden = len(ordered) - top
+            ordered = ordered[:top]
+        else:
+            hidden = 0
         for name, stats in ordered:
             lines.append(
                 f"{name:<{width}}  {stats['count']:>7}  "
@@ -120,6 +130,8 @@ def format_report(summary):
                 f"{stats['p99_us']:>10.1f}  "
                 f"{stats['total_us'] / grand_total:>6.1%}"
             )
+        if hidden > 0:
+            lines.append(f"... ({hidden} more spans; widen with --top)")
     if summary["counters"]:
         lines.append("")
         lines.append("counters:")
@@ -148,12 +160,27 @@ def main(argv=None):
     parser.add_argument("path", help="JSONL trace written via REPRO_OBS_EXPORT")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of a table")
+    parser.add_argument("--top", type=int, default=None, metavar="N",
+                        help="show only the N spans with the most total time")
     args = parser.parse_args(argv)
-    summary = summarize(args.path)
+    if args.top is not None and args.top < 1:
+        print("error: --top must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        summary = summarize(args.path)
+    except OSError as exc:
+        print(f"error: cannot read trace file {args.path!r}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 2
+    if summary["events"] == 0:
+        print(f"error: {args.path!r} contains no telemetry events "
+              "(was the run exported with REPRO_OBS_EXPORT?)",
+              file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(format_report(summary))
+        print(format_report(summary, top=args.top))
         if summary["skipped"]:
             print(f"\n({summary['skipped']} unparseable lines skipped)")
     return 0

@@ -26,6 +26,8 @@ import asyncio
 import time
 
 from repro import obs
+from repro.obs import spans as _spans
+from repro.obs import trace as _trace
 
 __all__ = ["MicroBatcher", "OverloadedError"]
 
@@ -38,16 +40,19 @@ class _Entry:
     """One submitted request group and the future its caller awaits."""
 
     __slots__ = ("observations", "agents", "greedy", "future", "enqueued_at",
-                 "meta")
+                 "meta", "span_id")
 
     def __init__(self, observations, agents, greedy, future, enqueued_at,
-                 meta=None):
+                 meta=None, span_id=None):
         self.observations = observations
         self.agents = agents
         self.greedy = greedy
         self.future = future
         self.enqueued_at = enqueued_at
         self.meta = meta
+        # The submitting request's span id (when a trace is open), so the
+        # flush can attribute the retroactive queue-wait span to it.
+        self.span_id = span_id
 
 
 class MicroBatcher:
@@ -117,7 +122,7 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         entry = _Entry(
             observations, agents, greedy, loop.create_future(),
-            time.perf_counter(), meta,
+            time.perf_counter(), meta, _trace.current_span_id(),
         )
         self._queue.append(entry)
         self._pending_rows += rows
@@ -156,9 +161,18 @@ class MicroBatcher:
             agents = [a for e in taken for a in e.agents]
             greedy = [g for e in taken for g in e.greedy]
             try:
-                actions, probs, generation = self.engine.act(
-                    observations, agents, greedy
-                )
+                # The batch span's causal parent is the process default
+                # (the server's root span), set explicitly: _flush runs
+                # either inside one request's context (size trigger) or a
+                # timer callback's captured context (time trigger), and
+                # neither request should own a span covering everyone's
+                # rows.  Request→batch attribution comes from the
+                # queue-wait spans below instead.
+                with obs.span("serving.batch",
+                              parent_id=_trace.default_parent()):
+                    actions, probs, generation = self.engine.act(
+                        observations, agents, greedy
+                    )
             except Exception as exc:  # noqa: BLE001 — fail the waiters
                 for entry in taken:
                     if not entry.future.done():
@@ -189,6 +203,21 @@ class MicroBatcher:
                     )
                     for _, wait_us in waits:
                         wait_hist.observe(wait_us)
+                    if _trace.active() and _spans.export_path() is not None:
+                        # Retroactive per-request queue-wait spans: the
+                        # interval from enqueue to this flush, parented to
+                        # the submitting request's span.
+                        for entry, wait_us in waits:
+                            _trace.emit_manual_span(
+                                "serving.queue_wait",
+                                t_us=_trace.align_us(
+                                    entry.enqueued_at * 1e6
+                                ),
+                                dur_us=wait_us,
+                                parent_id=entry.span_id,
+                                batch_id=self._batch_seq,
+                                flush=trigger,
+                            )
                 if self.flush_observer is not None:
                     self.flush_observer(
                         self._batch_seq,

@@ -36,6 +36,8 @@ import numpy as np
 
 from repro import obs
 from repro.config import ServingConfig
+from repro.obs import flight as _flight
+from repro.obs import trace as _trace
 from repro.marl.checkpoint import checkpoint_info
 from repro.serving.batcher import MicroBatcher, OverloadedError
 from repro.serving.engine import FrameworkSpec, PolicyEngine
@@ -135,6 +137,9 @@ class PolicyServer:
         self._server = None
         self._loop = None
         self._obs_prev = None
+        self._trace_root = None
+        self._trace_root_started = 0
+        self._trace_owner = False
         self._request_seq = 0
         self.request_count = 0
         self.error_count = 0
@@ -147,6 +152,15 @@ class PolicyServer:
         # /metrics surface is part of its contract.  The previous flag is
         # restored on stop() so embedding tests don't leak the enable.
         self._obs_prev = obs.set_enabled(True)
+        # One trace spans the server's lifetime; every request span (and,
+        # through the transport seam, every shard-eval span) parents back
+        # to the ``serving.server`` root, whose event is emitted at stop()
+        # once its duration is known.
+        self._trace_owner = not _trace.active()
+        obs.begin_trace(label="serving")
+        self._trace_root = _trace.new_span_id()
+        self._trace_root_started = _trace.now_us()
+        _trace.set_default_parent(self._trace_root)
         self._loop = asyncio.get_running_loop()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -184,6 +198,17 @@ class PolicyServer:
             await self._server.wait_closed()
             self._server = None
         self.engine.close()
+        if self._trace_root is not None:
+            _trace.emit_manual_span(
+                "serving.server",
+                t_us=self._trace_root_started,
+                dur_us=_trace.now_us() - self._trace_root_started,
+                span_id=self._trace_root,
+            )
+            _trace.set_default_parent(None)
+            self._trace_root = None
+            if self._trace_owner:
+                obs.end_trace()
         if self._obs_prev is not None:
             obs.set_enabled(self._obs_prev)
             self._obs_prev = None
@@ -265,11 +290,20 @@ class PolicyServer:
         return 404, {"error": f"no route for {method} {path}"}
 
     def _next_meta(self):
-        """Access-log tag for one request group (None when logging is off)."""
+        """Access-log tag for one request group (None when logging is off).
+
+        Called inside the request span, so the tag links the log line to
+        the trace: a slow request's ``trace_id``/``span_id`` can be looked
+        up straight in the exported timeline.
+        """
         if not self.config.log_requests:
             return None
         self._request_seq += 1
-        return {"request_id": self._request_seq}
+        meta = {"request_id": self._request_seq}
+        if obs.trace_id() is not None:
+            meta["trace_id"] = obs.trace_id()
+            meta["span_id"] = obs.current_span_id()
+        return meta
 
     def _log_batch(self, batch_id, trigger, entries, generation):
         """Flush-observer callback: one JSON line per request in the batch."""
@@ -283,7 +317,17 @@ class PolicyServer:
                 "flush": trigger,
                 "generation": generation,
             }
+            if meta is not None and meta.get("trace_id") is not None:
+                line["trace_id"] = meta["trace_id"]
+                line["span_id"] = meta.get("span_id")
             print(json.dumps(line), file=self.access_log_stream, flush=True)
+
+    def _request_token(self, request_span):
+        """``trace_id:span_id`` response tag (the X-Request-Id analogue)."""
+        span_id = getattr(request_span, "span_id", None)
+        if span_id is None:
+            return None
+        return f"{obs.trace_id()}:{span_id}"
 
     async def _act(self, body):
         payload = json.loads(body)
@@ -292,14 +336,19 @@ class PolicyServer:
             raise ValueError("observation must be a flat vector")
         agent = int(payload["agent"])
         greedy = bool(payload.get("greedy", False))
-        actions, probs, generation = await self.batcher.submit(
-            observation[None], [agent], [greedy], meta=self._next_meta()
-        )
-        return 200, {
+        with obs.span("serving.request") as request_span:
+            actions, probs, generation = await self.batcher.submit(
+                observation[None], [agent], [greedy], meta=self._next_meta()
+            )
+        document = {
             "action": int(actions[0]),
             "probs": [float(p) for p in probs[0]],
             "generation": generation,
         }
+        token = self._request_token(request_span)
+        if token is not None:
+            document["request_id"] = token
+        return 200, document
 
     async def _act_batch(self, body):
         payload = json.loads(body)
@@ -316,15 +365,19 @@ class PolicyServer:
             raise ValueError(
                 "observations, agents, and greedy must agree in length"
             )
-        actions, probs, generation = await self.batcher.submit(
-            observations, agents, greedy, meta=self._next_meta()
-        )
+        with obs.span("serving.request") as request_span:
+            actions, probs, generation = await self.batcher.submit(
+                observations, agents, greedy, meta=self._next_meta()
+            )
         document = {
             "actions": [int(a) for a in actions],
             "generation": generation,
         }
         if payload.get("return_probs", False):
             document["probs"] = [[float(p) for p in row] for row in probs]
+        token = self._request_token(request_span)
+        if token is not None:
+            document["request_id"] = token
         return 200, document
 
     def _health(self):
@@ -428,7 +481,15 @@ def main(argv=None):
     parser.add_argument("--log-requests", action="store_true",
                         help="emit one structured JSON access-log line per "
                              "request to stderr (off by default)")
+    parser.add_argument("--flight-dir", default=None,
+                        help="directory for flight-recorder postmortem "
+                             "dumps (worker crashes, unhandled exceptions); "
+                             "unset disables dumping")
     args = parser.parse_args(argv)
+
+    if args.flight_dir:
+        _flight.set_dump_dir(args.flight_dir)
+        _flight.install_excepthook()
 
     config = ServingConfig(
         max_batch=args.max_batch,

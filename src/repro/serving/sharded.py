@@ -17,16 +17,20 @@ with the spec and the last broadcast checkpoint path.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.marl.parallel.collector import _default_start_method
 from repro.marl.parallel.transport import (
     WorkerCrashError,
     make_transport,
     make_worker_endpoint,
 )
+from repro.obs import flight as _flight
+from repro.obs import trace as _trace
 
 from repro.serving.engine import (
     build_inference_framework,
@@ -39,10 +43,14 @@ __all__ = ["ShardedPolicyEngine", "serving_worker_main"]
 def serving_worker_main(connection, transport_info=None):
     """Blocking command loop run inside each serving worker process.
 
-    Commands: ``init`` (spec + optional checkpoint), ``load`` (checkpoint
-    path), ``infer`` (observation rows + agent indices), ``ping``,
-    ``close``.  Replies put the probability block under ``"arrays"`` so the
-    shm transport ships it through the ring.
+    Commands: ``init`` (spec + optional checkpoint + optional
+    observability config), ``load`` (checkpoint path), ``infer``
+    (observation rows + agent indices + optional trace context), ``ping``,
+    ``close``, plus the ``clock`` / ``clock_set`` alignment handshake (see
+    :mod:`repro.obs.trace`).  Replies put the probability block under
+    ``"arrays"`` so the shm transport ships it through the ring.  Commands
+    are ringed in the flight recorder so a shard's postmortem shows what
+    it was serving when it died.
     """
     try:
         endpoint = make_worker_endpoint(connection, transport_info)
@@ -60,12 +68,20 @@ def serving_worker_main(connection, transport_info=None):
         except (EOFError, OSError, KeyboardInterrupt):
             break
         command = message[0]
+        if _flight.enabled():
+            _flight.record("command", command=command)
         if command == "close":
             endpoint.send_ok(None)
             break
         try:
             if command == "init":
                 spec, checkpoint_path = message[1], message[2]
+                obs_cfg = message[3] if len(message) > 3 else None
+                if obs_cfg:
+                    if obs_cfg.get("label"):
+                        _trace.set_process_label(obs_cfg["label"])
+                    if obs_cfg.get("flight_ring"):
+                        _flight.attach_file(obs_cfg["flight_ring"])
                 framework = build_inference_framework(spec)
                 if checkpoint_path is not None:
                     from repro.marl.checkpoint import load_checkpoint
@@ -92,15 +108,28 @@ def serving_worker_main(connection, transport_info=None):
                 if framework is None:
                     raise RuntimeError("'infer' before 'init'")
                 observations, agents = message[1], message[2]
-                probs = framework.actors.rows_probabilities(
-                    observations, agents
-                )
+                ctx = message[3] if len(message) > 3 else None
+                if ctx is not None:
+                    if _obs.enabled() != bool(ctx.get("telemetry")):
+                        _obs.set_enabled(bool(ctx.get("telemetry")))
+                    _trace.adopt(ctx.get("trace"))
+                with _obs.span("serving.shard_eval"):
+                    probs = framework.actors.rows_probabilities(
+                        observations, agents
+                    )
                 reply = {"arrays": [probs]}
             elif command == "ping":
                 reply = "pong"
+            elif command == "clock":
+                reply = _trace.raw_now_us()
+            elif command == "clock_set":
+                _trace.set_clock_offset_us(message[1])
+                reply = None
             else:
                 raise RuntimeError(f"unknown serving command {command!r}")
         except Exception:  # noqa: BLE001 — ship any failure to the parent
+            if _flight.enabled():
+                _flight.record("command_error", command=command)
             endpoint.send_error(traceback.format_exc())
         else:
             endpoint.send_ok(reply)
@@ -119,6 +148,7 @@ class _ShardHandle:
         self.process = None
         self.channel = None
         self.restarts = 0
+        self.flight_ring = None
 
     def start(self):
         self.transport.reset()
@@ -132,10 +162,39 @@ class _ShardHandle:
         self.process.start()
         child_end.close()
         self.channel = self.transport.parent_channel(self.process, parent_end)
-        self.channel.send(("init", self.spec, self.checkpoint_path))
+        obs_cfg = {"label": self.name}
+        if _flight.enabled() and _flight.dump_dir() is not None:
+            self.flight_ring = os.path.join(
+                _flight.dump_dir(), f"{self.name}.ring"
+            )
+            obs_cfg["flight_ring"] = self.flight_ring
+        self.channel.send(("init", self.spec, self.checkpoint_path, obs_cfg))
+        self.channel.recv()
+        # Clock-alignment handshake (same protocol as rollout workers).
+        t0 = _trace.now_us()
+        self.channel.send(("clock",))
+        worker_now = self.channel.recv()
+        t1 = _trace.now_us()
+        self.channel.send(
+            ("clock_set", _trace.compute_clock_offset(t0, t1, worker_now))
+        )
         self.channel.recv()
 
     def restart(self):
+        """Replace a dead shard, dumping a postmortem of its last moments."""
+        if _flight.enabled():
+            worker_events = None
+            if self.flight_ring is not None:
+                worker_events = _flight.read_file(self.flight_ring)
+            _flight.record(
+                "serving_restart", worker=self.name,
+                restarts=self.restarts + 1,
+            )
+            _flight.dump(
+                "serving-worker-restart",
+                extra={"worker": self.name, "restarts": self.restarts + 1},
+                worker_events=worker_events,
+            )
         self.terminate()
         self.restarts += 1
         self.start()
@@ -162,6 +221,12 @@ class _ShardHandle:
                 pass
         self.terminate()
         self.transport.close()
+        if self.flight_ring is not None:
+            try:
+                os.unlink(self.flight_ring)
+            except OSError:
+                pass
+            self.flight_ring = None
 
 
 class ShardedPolicyEngine:
@@ -259,15 +324,22 @@ class ShardedPolicyEngine:
         rows = observations.shape[0]
         n_shards = min(len(self._workers), max(rows, 1))
         splits = np.array_split(np.arange(rows), n_shards)
+        # Workers mirror the parent's telemetry flag per command and join
+        # its trace: shard evaluation spans parent to the span issuing
+        # this infer (the batcher's batch span).
+        ctx = {
+            "telemetry": _obs.enabled(),
+            "trace": _trace.propagation_context(),
+        }
         for worker, rows_idx in zip(self._workers, splits):
             try:
                 worker.channel.send(
-                    ("infer", observations[rows_idx], agents[rows_idx])
+                    ("infer", observations[rows_idx], agents[rows_idx], ctx)
                 )
             except WorkerCrashError:
                 worker.restart()
                 worker.channel.send(
-                    ("infer", observations[rows_idx], agents[rows_idx])
+                    ("infer", observations[rows_idx], agents[rows_idx], ctx)
                 )
         blocks = []
         for worker, rows_idx in zip(self._workers, splits):
@@ -276,7 +348,7 @@ class ShardedPolicyEngine:
             except WorkerCrashError:
                 worker.restart()
                 worker.channel.send(
-                    ("infer", observations[rows_idx], agents[rows_idx])
+                    ("infer", observations[rows_idx], agents[rows_idx], ctx)
                 )
                 reply = worker.channel.recv()
             blocks.append(reply["arrays"][0])

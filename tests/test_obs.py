@@ -35,14 +35,22 @@ from tests.helpers import (
 
 @pytest.fixture(autouse=True)
 def clean_obs_state():
-    """Every test starts and ends with a pristine, disabled registry."""
+    """Every test starts and ends with a pristine, disabled registry —
+    including the causal-trace and flight-recorder globals layered on it."""
+    from repro.obs import flight as obs_flight
+    from repro.obs import trace as obs_trace
+
     previous = obs.set_enabled(False)
     obs.reset()
     obs.set_export_path(None)
+    obs_trace.reset()
+    obs_flight.reset()
     yield
     obs.set_enabled(previous)
     obs.reset()
     obs.set_export_path(None)
+    obs_trace.reset()
+    obs_flight.reset()
 
 
 # -- registry -----------------------------------------------------------------

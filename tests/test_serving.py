@@ -632,3 +632,101 @@ class TestAccessLog:
 
         run(scenario())
         assert sink.getvalue() == ""
+
+
+class TestRequestTracing:
+    """The server's causal-trace surface: response request ids, trace-tagged
+    access logs, and the merged cross-process trace tree."""
+
+    def test_responses_and_log_lines_carry_trace_ids(self, checkpoints, rng):
+        observations = rng.uniform(size=(3, ENV.observation_size))
+        sink = io.StringIO()
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=0, max_batch=8,
+                                   max_wait_us=500, log_requests=True)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            server.access_log_stream = sink
+            await server.start()
+            out = {"trace": obs.trace_id()}
+            try:
+                async with AsyncServingClient("127.0.0.1",
+                                              server.port) as client:
+                    out["act"] = await client.act(
+                        observations[0], 0, greedy=True
+                    )
+                    out["batch"] = await client.act_batch(
+                        observations, [0, 1, 0], greedy=True
+                    )
+            finally:
+                await server.stop()
+            return out
+
+        out = run(scenario())
+        # Responses carry a ``trace_id:span_id`` token (the X-Request-Id
+        # analogue) that resolves straight into the exported timeline.
+        tokens = {}
+        for key in ("act", "batch"):
+            trace, _, span = out[key]["request_id"].partition(":")
+            assert trace == out["trace"]
+            assert span
+            tokens[key] = span
+        assert tokens["act"] != tokens["batch"]
+        # The access log names the same spans, alongside the stable
+        # numeric per-server request ids.
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [line["request_id"] for line in lines] == [1, 2]
+        assert {line["trace_id"] for line in lines} == {out["trace"]}
+        assert {line["span_id"] for line in lines} == set(tokens.values())
+
+    def test_concurrent_sharded_serving_forms_one_trace_tree(
+            self, checkpoints, rng, tmp_path):
+        from repro.obs import spans as obs_spans
+        from repro.obs import trace as obs_trace
+
+        path = tmp_path / "serve.jsonl"
+        observations = rng.uniform(size=(6, ENV.observation_size))
+
+        async def scenario():
+            config = ServingConfig(port=0, reload_poll_ms=0, max_batch=4,
+                                   max_wait_us=2000, workers=2)
+            server = PolicyServer(SPEC, config,
+                                  checkpoint_path=checkpoints["paths"]["a"])
+            await server.start()
+            try:
+                async def single(i):
+                    # One connection per task: the client doesn't pipeline.
+                    async with AsyncServingClient("127.0.0.1",
+                                                  server.port) as c:
+                        return await c.act(
+                            observations[i], i % 2, greedy=True
+                        )
+
+                await asyncio.gather(*(single(i) for i in range(6)))
+            finally:
+                await server.stop()
+
+        obs.set_export_path(str(path))
+        try:
+            run(scenario())
+            obs_spans.close_export()
+            events = obs_trace.load_events([str(path)])
+        finally:
+            obs.set_export_path(None)
+
+        spans = [e for e in events
+                 if e.get("kind") == "span" and e.get("span_id")]
+        names = {e["name"] for e in spans}
+        assert {"serving.server", "serving.request", "serving.batch",
+                "serving.queue_wait", "serving.shard_eval"} <= names
+        assert sum(e["name"] == "serving.request" for e in spans) == 6
+        assert sum(e["name"] == "serving.queue_wait" for e in spans) == 6
+        # One trace, one root (the server's lifetime span), and a lane for
+        # the parent plus each shard process.
+        assert len({e["trace_id"] for e in spans}) == 1
+        (root,) = [e for e in spans if e["name"] == "serving.server"]
+        assert obs_trace.connected_roots(events) == [root["span_id"]]
+        assert len({e["pid"] for e in spans}) == 3
+        doc = obs_trace.to_chrome_trace(events)
+        assert obs_trace.validate_chrome_trace(doc) == []
